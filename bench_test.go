@@ -1,0 +1,189 @@
+// Benchmarks regenerating each table and figure of the paper's evaluation
+// at reduced simulation length (the full-fidelity sweeps are produced by
+// cmd/quarcbench; these benches exercise the identical code paths and give
+// per-experiment wall-clock costs).
+//
+// One benchmark per paper artefact:
+//
+//	Fig 9  (N=16, beta=5%, M in {8,16,32})  -> BenchmarkFig9_*
+//	Fig 10 (M=16, beta=10%, N in {16,32,64}) -> BenchmarkFig10_*
+//	Fig 11 (N=64, M=16, beta in {0,5,10}%)   -> BenchmarkFig11_*
+//	Table 1 (module-wise switch cost)        -> BenchmarkTable1_CostModel
+//	Fig 12 (cost vs width)                   -> BenchmarkFig12_CostComparison
+//	§3.2 simulator verification              -> BenchmarkVerification_Analytic
+//	§2.2 modification ablation               -> BenchmarkAblation_Modifications
+//	§4 future-work mesh/torus comparison     -> BenchmarkExtension_MeshComparison
+package quarc_test
+
+import (
+	"testing"
+
+	"quarc"
+)
+
+// benchOpts keeps a single benchmark iteration around a few milliseconds.
+func benchOpts() quarc.RunOpts {
+	return quarc.RunOpts{Warmup: 200, Measure: 1000, Drain: 6000, Depth: 4, Seed: 1, Points: 3}
+}
+
+// benchPoint runs one paired Quarc/Spidergon measurement of a panel
+// configuration at a stable mid-grid load.
+func benchPoint(b *testing.B, n, msgLen int, beta float64) {
+	b.Helper()
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		for _, topo := range []quarc.Topology{quarc.TopoQuarc, quarc.TopoSpidergon} {
+			res, err := quarc.Run(quarc.Config{
+				Topo: topo, N: n, MsgLen: msgLen, Beta: beta, Rate: 0.004,
+				Warmup: opts.Warmup, Measure: opts.Measure, Drain: opts.Drain,
+				Depth: opts.Depth, Seed: opts.Seed,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.UnicastCount == 0 {
+				b.Fatal("no samples")
+			}
+		}
+	}
+}
+
+func BenchmarkFig9_M8(b *testing.B)  { benchPoint(b, 16, 8, 0.05) }
+func BenchmarkFig9_M16(b *testing.B) { benchPoint(b, 16, 16, 0.05) }
+func BenchmarkFig9_M32(b *testing.B) { benchPoint(b, 16, 32, 0.05) }
+
+func BenchmarkFig10_N16(b *testing.B) { benchPoint(b, 16, 16, 0.10) }
+func BenchmarkFig10_N32(b *testing.B) { benchPoint(b, 32, 16, 0.10) }
+func BenchmarkFig10_N64(b *testing.B) { benchPoint(b, 64, 16, 0.10) }
+
+func BenchmarkFig11_Beta0(b *testing.B)  { benchPoint(b, 64, 16, 0) }
+func BenchmarkFig11_Beta5(b *testing.B)  { benchPoint(b, 64, 16, 0.05) }
+func BenchmarkFig11_Beta10(b *testing.B) { benchPoint(b, 64, 16, 0.10) }
+
+func BenchmarkTable1_CostModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := quarc.Table1()
+		total := 0
+		for _, r := range rows {
+			total += r.Slices
+		}
+		if total != 1453 {
+			b.Fatalf("table 1 total %d", total)
+		}
+	}
+}
+
+func BenchmarkFig12_CostComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := quarc.Fig12()
+		for _, r := range rows {
+			if r.QuarcSlices >= r.SpidergonSlices {
+				b.Fatalf("width %d: cost claim violated", r.Width)
+			}
+		}
+	}
+}
+
+func BenchmarkVerification_Analytic(b *testing.B) {
+	// One low-load Spidergon verification point per iteration (the cheapest
+	// §3.2-style cross-check).
+	for i := 0; i < b.N; i++ {
+		res, err := quarc.Run(quarc.Config{
+			Topo: quarc.TopoSpidergon, N: 16, MsgLen: 8, Rate: 0.003,
+			Warmup: 200, Measure: 800, Drain: 4000, Seed: 2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.UnicastMean <= 8 {
+			b.Fatal("implausible latency")
+		}
+	}
+}
+
+func BenchmarkAblation_Modifications(b *testing.B) {
+	variants := []quarc.Topology{
+		quarc.TopoQuarc, quarc.TopoQuarcChainBcast,
+		quarc.TopoQuarcSingleQueue, quarc.TopoSpidergon,
+	}
+	for i := 0; i < b.N; i++ {
+		for _, topo := range variants {
+			if _, err := quarc.Run(quarc.Config{
+				Topo: topo, N: 16, MsgLen: 8, Beta: 0.05, Rate: 0.004,
+				Warmup: 200, Measure: 800, Drain: 6000, Seed: 3,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkExtension_MeshComparison(b *testing.B) {
+	topos := []quarc.Topology{quarc.TopoQuarc, quarc.TopoMesh, quarc.TopoTorus}
+	for i := 0; i < b.N; i++ {
+		for _, topo := range topos {
+			if _, err := quarc.Run(quarc.Config{
+				Topo: topo, N: 16, MsgLen: 8, Beta: 0.05, Rate: 0.004,
+				Warmup: 200, Measure: 800, Drain: 6000, Seed: 4,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFabricStep measures the core simulator step cost at a moderate
+// load on the largest evaluated network.
+func BenchmarkFabricStep(b *testing.B) {
+	fab, nodes, err := quarc.NewQuarc(quarc.QuarcConfig{N: 64, Depth: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Prime with traffic.
+	for i, nd := range nodes {
+		nd.SendUnicast((i+7)%64, 16, 0)
+		if i%8 == 0 {
+			nd.SendBroadcast(16, 0)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fab.Step()
+		if fab.Tracker.InFlight() == 0 {
+			b.StopTimer()
+			for j, nd := range nodes {
+				nd.SendUnicast((j+9)%64, 16, fab.Now())
+			}
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkContention_StallBreakdown exercises the microarchitectural
+// stall accounting (the §2.1 bottleneck analysis).
+func BenchmarkContention_StallBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := quarc.Run(quarc.Config{
+			Topo: quarc.TopoSpidergon, N: 16, MsgLen: 16, Beta: 0.05, Rate: 0.012,
+			Warmup: 200, Measure: 800, Drain: 6000, Seed: 5,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+}
+
+// BenchmarkAblation_BufferDepth exercises the §2.3.1 depth parameter.
+func BenchmarkAblation_BufferDepth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, depth := range []int{2, 8} {
+			if _, err := quarc.Run(quarc.Config{
+				Topo: quarc.TopoQuarc, N: 16, MsgLen: 16, Beta: 0.05, Rate: 0.008,
+				Depth: depth, Warmup: 200, Measure: 800, Drain: 6000, Seed: 6,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

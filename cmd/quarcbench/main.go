@@ -1,0 +1,163 @@
+// Command quarcbench regenerates the paper's evaluation artefacts: the
+// latency-versus-load panels of Figs 9-11, the cost tables (Table 1 and
+// Fig 12), the §3.2 simulator-versus-analytical-model verification, the
+// modification ablation, the link-load balance analysis, and the
+// future-work mesh/torus comparison.
+//
+// Examples:
+//
+//	quarcbench -experiment all
+//	quarcbench -experiment fig9 -fast
+//	quarcbench -experiment cost
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"quarc/internal/experiments"
+)
+
+func main() {
+	var (
+		which = flag.String("experiment", "all",
+			"one of: fig9, fig10, fig11, table1, fig12, cost, verify, ablation, mesh, linkload, contention, depth, bursty, hotspot, all")
+		fast   = flag.Bool("fast", false, "reduced simulation length (quick look)")
+		csvDir = flag.String("csv", "", "also write per-panel CSV files into this directory")
+	)
+	flag.Parse()
+
+	opts := experiments.DefaultOpts()
+	if *fast {
+		opts = experiments.FastOpts()
+	}
+
+	runPanels := func(name string, panels []experiments.PanelSpec) {
+		for pi, spec := range panels {
+			start := time.Now()
+			pr, err := experiments.RunPanel(spec, opts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "quarcbench: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Println(pr.Render())
+			fmt.Printf("(panel swept in %.1fs)\n\n", time.Since(start).Seconds())
+			if *csvDir != "" {
+				if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+					fmt.Fprintf(os.Stderr, "quarcbench: %v\n", err)
+					os.Exit(1)
+				}
+				path := filepath.Join(*csvDir, fmt.Sprintf("%s_panel%d.csv", name, pi+1))
+				f, err := os.Create(path)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "quarcbench: %v\n", err)
+					os.Exit(1)
+				}
+				if err := pr.WriteCSV(f); err != nil {
+					fmt.Fprintf(os.Stderr, "quarcbench: csv: %v\n", err)
+					os.Exit(1)
+				}
+				f.Close()
+				fmt.Printf("(csv written to %s)\n\n", path)
+			}
+		}
+	}
+
+	did := false
+	want := func(names ...string) bool {
+		for _, n := range names {
+			if *which == n || *which == "all" {
+				did = true
+				return true
+			}
+		}
+		return false
+	}
+
+	if want("fig9") {
+		runPanels("fig9", experiments.Fig9Panels())
+	}
+	if want("fig10") {
+		runPanels("fig10", experiments.Fig10Panels())
+	}
+	if want("fig11") {
+		runPanels("fig11", experiments.Fig11Panels())
+	}
+	if want("table1", "fig12", "cost") {
+		fmt.Println(experiments.RenderCost())
+	}
+	if want("verify") {
+		rows, err := experiments.Verify(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quarcbench: verify: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(experiments.RenderVerify(rows))
+	}
+	if want("ablation") {
+		n, m, beta, rate := 16, 16, 0.05, 0.008
+		rows, err := experiments.Ablation(n, m, beta, rate, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quarcbench: ablation: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(experiments.RenderAblation(rows, n, m, beta, rate))
+	}
+	if want("mesh") {
+		out, err := experiments.MeshComparison(16, 16, 0.05, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quarcbench: mesh: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+	if want("linkload") {
+		out, err := experiments.LinkLoadBalance(16, 2, 0.01, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quarcbench: linkload: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+	if want("contention") {
+		out, err := experiments.Contention(16, 16, 0.05, 0.012, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quarcbench: contention: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+	if want("depth") {
+		for _, topo := range []experiments.Topology{experiments.TopoQuarc, experiments.TopoSpidergon} {
+			rows, err := experiments.DepthSweep(topo, 16, 16, 0.05, 0.012, opts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "quarcbench: depth: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println(experiments.RenderDepthSweep(topo, rows))
+		}
+	}
+	if want("bursty") {
+		out, err := experiments.Bursty(16, 16, 0.05, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quarcbench: bursty: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+	if want("hotspot") {
+		out, err := experiments.HotspotComparison(16, 16, 0.3, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quarcbench: hotspot: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+	if !did {
+		fmt.Fprintf(os.Stderr, "quarcbench: unknown experiment %q\n", *which)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,68 @@
+// Command quarccost prints the FPGA area model: the module-wise breakdown
+// of the Quarc switch (paper Table 1), the Quarc-versus-Spidergon cost
+// comparison across flit widths (paper Fig 12), and the processing-element
+// queue overhead analysis of §3.1.
+//
+// Examples:
+//
+//	quarccost
+//	quarccost -width 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"quarc"
+	"quarc/internal/cost"
+	"quarc/internal/plot"
+)
+
+func main() {
+	width := flag.Int("width", 32, "payload width for the module-wise breakdown (16, 32 or 64)")
+	flag.Parse()
+
+	valid := false
+	for _, w := range cost.Widths {
+		if *width == w {
+			valid = true
+		}
+	}
+	if !valid {
+		fmt.Fprintf(os.Stderr, "quarccost: width must be one of %v\n", cost.Widths)
+		os.Exit(2)
+	}
+
+	for _, sw := range []quarc.SwitchCost{quarc.QuarcSwitchCost(), quarc.SpidergonSwitchCost()} {
+		fmt.Printf("== %d-bit %s switch, module-wise slices ==\n", *width, sw.Name)
+		var rows [][]string
+		total := 0
+		for _, r := range sw.ModuleSlices(*width) {
+			rows = append(rows, []string{r.Module, fmt.Sprint(r.Slices)})
+			total += r.Slices
+		}
+		rows = append(rows, []string{"TOTAL", fmt.Sprint(total)})
+		fmt.Println(plot.Table([]string{"module", "slices"}, rows))
+	}
+
+	fmt.Println("== Fig 12: slice count vs flit width ==")
+	var labels []string
+	var values []float64
+	for _, r := range quarc.Fig12() {
+		labels = append(labels,
+			fmt.Sprintf("quarc %d-bit", r.Width),
+			fmt.Sprintf("spidergon %d-bit", r.Width))
+		values = append(values, float64(r.QuarcSlices), float64(r.SpidergonSlices))
+	}
+	fmt.Println(plot.Bars("occupied slices", labels, values, 48))
+
+	fmt.Println("== PE address-queue overhead (paper §3.1) ==")
+	qb, sb, err := cost.PEQueueOverhead(16, 2, 6)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "quarccost: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("quarc: 4 address queues, %.0f bits total; spidergon: 1 queue, %.0f bits\n", qb, sb)
+	fmt.Printf("overhead ratio %.2fx on addresses only; packet RAM identical for both\n", qb/sb)
+}

@@ -1,0 +1,92 @@
+// Command quarcsim runs a single flit-level NoC simulation and prints its
+// latency and throughput statistics.
+//
+// Examples:
+//
+//	quarcsim -topo quarc -n 16 -m 16 -beta 0.05 -rate 0.01
+//	quarcsim -topo spidergon -n 64 -m 16 -beta 0.10 -rate 0.005 -cycles 20000
+//	quarcsim -topo mesh -n 16 -m 8 -rate 0.02 -pattern hotspot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"quarc"
+)
+
+func main() {
+	var (
+		topoName = flag.String("topo", "quarc", "topology: quarc, spidergon, quarc-chainbcast, quarc-1queue, mesh, torus")
+		n        = flag.Int("n", 16, "number of nodes (multiple of 4 for rings, square for meshes)")
+		m        = flag.Int("m", 16, "message length in flits")
+		beta     = flag.Float64("beta", 0.05, "broadcast fraction of generated messages")
+		rate     = flag.Float64("rate", 0.01, "offered load, messages per node per cycle")
+		pattern  = flag.String("pattern", "uniform", "unicast pattern: uniform, hotspot, antipodal, neighbor, bitreverse")
+		warmup   = flag.Int64("warmup", 3000, "warmup cycles (not measured)")
+		cycles   = flag.Int64("cycles", 12000, "measured cycles")
+		drain    = flag.Int64("drain", 40000, "max drain cycles after generation stops")
+		depth    = flag.Int("depth", 4, "virtual-channel buffer depth in flits")
+		seed     = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	topos := map[string]quarc.Topology{
+		"quarc":            quarc.TopoQuarc,
+		"spidergon":        quarc.TopoSpidergon,
+		"quarc-chainbcast": quarc.TopoQuarcChainBcast,
+		"quarc-1queue":     quarc.TopoQuarcSingleQueue,
+		"mesh":             quarc.TopoMesh,
+		"torus":            quarc.TopoTorus,
+	}
+	topo, ok := topos[strings.ToLower(*topoName)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "quarcsim: unknown topology %q\n", *topoName)
+		os.Exit(2)
+	}
+	patterns := map[string]quarc.Pattern{
+		"uniform":    quarc.Uniform,
+		"hotspot":    quarc.Hotspot,
+		"antipodal":  quarc.Antipodal,
+		"neighbor":   quarc.NearestNeighbor,
+		"bitreverse": quarc.BitReverse,
+	}
+	pat, ok := patterns[strings.ToLower(*pattern)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "quarcsim: unknown pattern %q\n", *pattern)
+		os.Exit(2)
+	}
+
+	res, err := quarc.Run(quarc.Config{
+		Topo: topo, N: *n, MsgLen: *m, Beta: *beta, Rate: *rate,
+		Pattern: pat, Depth: *depth,
+		Warmup: *warmup, Measure: *cycles, Drain: *drain, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "quarcsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("topology        %v\n", topo)
+	fmt.Printf("nodes           %d\n", *n)
+	fmt.Printf("message length  %d flits\n", *m)
+	fmt.Printf("offered load    %.5f msgs/node/cycle (beta=%.0f%%)\n", *rate, *beta*100)
+	fmt.Printf("unicast latency %.2f ± %.2f cycles (%d messages)\n",
+		res.UnicastMean, res.UnicastCI, res.UnicastCount)
+	if res.BcastCount > 0 {
+		fmt.Printf("bcast completion %.2f ± %.2f cycles (%d broadcasts)\n",
+			res.BcastMean, res.BcastCI, res.BcastCount)
+		fmt.Printf("bcast per-dest   %.2f cycles mean delivery\n", res.BcastDelivery)
+	}
+	fmt.Printf("throughput      %.4f flits/node/cycle\n", res.Throughput)
+	fmt.Printf("saturated       %v\n", res.Saturated)
+	if res.Leftover > 0 {
+		fmt.Printf("WARNING: %d messages undelivered within the drain budget\n", res.Leftover)
+	}
+	if res.Duplicates > 0 {
+		fmt.Printf("ERROR: %d duplicate deliveries (routing bug)\n", res.Duplicates)
+		os.Exit(1)
+	}
+}

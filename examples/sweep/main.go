@@ -1,0 +1,50 @@
+// Sweep: regenerate one panel of the paper's Fig 9 (N=16, beta=5%, M=16)
+// from the library API and render the latency-versus-load curves as an
+// ASCII chart — the quickest way to see the paper's headline figure shape:
+// the Quarc's curves sit below the Spidergon's everywhere, its broadcast
+// latency is almost an order of magnitude lower, and it saturates at a
+// visibly higher offered load.
+//
+// Run with:
+//
+//	go run ./examples/sweep           (about a minute)
+//	go run ./examples/sweep -fast     (seconds, coarser)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"quarc"
+)
+
+func main() {
+	fast := flag.Bool("fast", false, "reduced simulation length")
+	flag.Parse()
+
+	opts := quarc.DefaultOpts()
+	if *fast {
+		opts = quarc.FastOpts()
+	}
+
+	// Fig 9, middle panel: N=16, beta=5%, M=16.
+	spec := quarc.Fig9Panels()[1]
+	fmt.Printf("sweeping %s over %d offered loads on both architectures...\n\n",
+		spec.Name, opts.Points)
+
+	pr, err := quarc.RunPanel(spec, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(pr.Render())
+
+	// Quantify the headline ratios at the lowest (stable) load point.
+	qUni, sUni := pr.QuarcUni.Y[0], pr.SpiderUni.Y[0]
+	qBc, sBc := pr.QuarcBc.Y[0], pr.SpiderBc.Y[0]
+	fmt.Printf("at load %.5f: unicast %.1f vs %.1f cycles (%.1fx), "+
+		"broadcast %.1f vs %.1f cycles (%.1fx)\n",
+		pr.RatesSwept[0], qUni, sUni, sUni/qUni, qBc, sBc, sBc/qBc)
+	fmt.Printf("saturation: quarc at %.4f, spidergon at %.4f msgs/node/cycle\n",
+		pr.QuarcUni.SaturationPoint(), pr.SpiderUni.SaturationPoint())
+}

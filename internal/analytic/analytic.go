@@ -1,0 +1,224 @@
+// Package analytic implements analytical latency models for wormhole-routed
+// Quarc, Spidergon and mesh networks under uniform traffic.
+//
+// The paper verified its OMNeT++ simulator "extensively against analytical
+// models for the Spidergon and mesh topologies employing wormhole routing"
+// (§3.2, ref [8]). This package provides the same cross-check for this
+// repository's simulator:
+//
+//   - exact average hop counts and zero-load latency (avg hops + M) from
+//     full path enumeration;
+//   - per-channel arrival rates from routing-aware path enumeration, giving
+//     channel utilisations, an M/D/1 waiting-time approximation per channel
+//     and a mean latency prediction valid at low to moderate load;
+//   - the channel-capacity saturation bound (the offered load at which the
+//     busiest channel reaches unit utilisation);
+//   - closed-form broadcast completion estimates: pipelined BRCP broadcast
+//     for the Quarc (diameter + M) versus the store-and-forward unicast
+//     chain of the Spidergon (about (N/2)(M + c)).
+//
+// The integration tests in this package run the flit-level simulator at low
+// load and require agreement with these models, reproducing the paper's
+// verification methodology.
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"quarc/internal/topology"
+)
+
+// Prediction is the analytical summary for a topology/workload pair.
+type Prediction struct {
+	N               int
+	MsgLen          int
+	Lambda          float64 // offered messages/node/cycle
+	AvgHops         float64
+	ZeroLoadLatency float64 // avg hops + M
+	MeanLatency     float64 // with M/D/1 channel waiting
+	MaxChannelUtil  float64
+	SaturationRate  float64 // lambda at which the busiest channel saturates
+}
+
+// pathFunc enumerates the channel ids used by the route s -> d.
+type pathFunc func(s, d int) []int
+
+// endpoints describes the adapter-side channels: how many injection queues
+// share the node's offered load, and whether ejection is a shared arbitrated
+// port (Spidergon, mesh) or dedicated per input (Quarc all-port).
+type endpoints struct {
+	injChannels int
+	sharedEject bool
+}
+
+// analyze runs the generic channel-level model.
+func analyze(n, msgLen int, lambda float64, numChannels int, paths pathFunc, ep endpoints) Prediction {
+	if msgLen < 2 {
+		panic("analytic: message length must be at least 2")
+	}
+	count := make([]float64, numChannels) // pair traversals per channel
+	totHops := 0
+	pairs := 0
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			p := paths(s, d)
+			totHops += len(p)
+			pairs++
+			for _, ch := range p {
+				count[ch]++
+			}
+		}
+	}
+	avgHops := float64(totHops) / float64(pairs)
+
+	// Channel message rate: each node offers lambda msgs/cycle uniformly
+	// over n-1 destinations.
+	svc := float64(msgLen) // flit-cycles a message occupies a channel
+	rho := make([]float64, numChannels)
+	wait := make([]float64, numChannels)
+	maxUtil, maxTraversal := 0.0, 0.0
+	for ch := range count {
+		rate := lambda * count[ch] / float64(n-1)
+		rho[ch] = rate * svc
+		if rho[ch] > maxUtil {
+			maxUtil = rho[ch]
+		}
+		if count[ch] > maxTraversal {
+			maxTraversal = count[ch]
+		}
+		if rho[ch] < 1 {
+			// M/D/1 mean waiting time: rho * S / (2 (1 - rho)).
+			wait[ch] = rho[ch] * svc / (2 * (1 - rho[ch]))
+		} else {
+			wait[ch] = math.Inf(1)
+		}
+	}
+
+	// Endpoint waiting: the injection queue(s) see the node's own offered
+	// load; with uniform traffic each node also receives lambda messages per
+	// cycle, so a shared ejection port is an M/D/1 server at the same rate.
+	md1 := func(rate float64) float64 {
+		r := rate * svc
+		if r >= 1 {
+			return math.Inf(1)
+		}
+		return r * svc / (2 * (1 - r))
+	}
+	endpointWait := md1(lambda / float64(ep.injChannels))
+	if ep.sharedEject {
+		endpointWait += md1(lambda)
+	}
+
+	// Mean latency over pairs: endpoint waiting + hops + M + per-channel
+	// waiting along the path.
+	var latSum float64
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			p := paths(s, d)
+			l := endpointWait + float64(len(p)) + float64(msgLen)
+			for _, ch := range p {
+				l += wait[ch]
+			}
+			latSum += l
+		}
+	}
+
+	sat := math.Inf(1)
+	if maxTraversal > 0 {
+		sat = float64(n-1) / (maxTraversal * svc)
+	}
+	return Prediction{
+		N: n, MsgLen: msgLen, Lambda: lambda,
+		AvgHops:         avgHops,
+		ZeroLoadLatency: avgHops + float64(msgLen),
+		MeanLatency:     latSum / float64(pairs),
+		MaxChannelUtil:  maxUtil,
+		SaturationRate:  sat,
+	}
+}
+
+// channel id packing for the ring topologies: kind*N + from.
+func ringChannelID(n int, ch topology.Channel) int {
+	return int(ch.Kind)*n + ch.From
+}
+
+// QuarcUniform predicts uniform-traffic unicast behaviour of an n-node
+// Quarc.
+func QuarcUniform(n, msgLen int, lambda float64) Prediction {
+	if err := topology.ValidateRingSize(n); err != nil {
+		panic(fmt.Sprintf("analytic: %v", err))
+	}
+	return analyze(n, msgLen, lambda, 5*n, func(s, d int) []int {
+		chs := topology.QuarcRouteChannels(n, s, d)
+		ids := make([]int, len(chs))
+		for i, c := range chs {
+			ids[i] = ringChannelID(n, c)
+		}
+		return ids
+	}, endpoints{injChannels: 4, sharedEject: false})
+}
+
+// SpidergonUniform predicts uniform-traffic unicast behaviour of an n-node
+// Spidergon.
+func SpidergonUniform(n, msgLen int, lambda float64) Prediction {
+	if err := topology.ValidateRingSize(n); err != nil {
+		panic(fmt.Sprintf("analytic: %v", err))
+	}
+	return analyze(n, msgLen, lambda, 5*n, func(s, d int) []int {
+		chs := topology.SpidergonRouteChannels(n, s, d)
+		ids := make([]int, len(chs))
+		for i, c := range chs {
+			ids[i] = ringChannelID(n, c)
+		}
+		return ids
+	}, endpoints{injChannels: 1, sharedEject: true})
+}
+
+// MeshUniform predicts uniform-traffic unicast behaviour of a w x h mesh
+// (or torus) under XY routing.
+func MeshUniform(w, h, msgLen int, lambda float64, torus bool) Prediction {
+	m, err := topology.NewMesh(w, h, torus)
+	if err != nil {
+		panic(fmt.Sprintf("analytic: %v", err))
+	}
+	n := m.N()
+	// Channel id: direction(4) * n + from-node.
+	return analyze(n, msgLen, lambda, 4*n, func(s, d int) []int {
+		var ids []int
+		cur := s
+		for cur != d {
+			dir, next := m.Step(cur, d)
+			ids = append(ids, int(dir)*n+cur)
+			cur = next
+		}
+		return ids
+	}, endpoints{injChannels: 1, sharedEject: true})
+}
+
+// QuarcBroadcastCompletion is the zero-load completion latency of a true
+// BRCP broadcast: the deepest branch has diameter n/4 hops and the tail
+// follows msgLen-1 flits behind the header.
+func QuarcBroadcastCompletion(n, msgLen int) float64 {
+	return float64(n/4 + msgLen)
+}
+
+// SpidergonBroadcastCompletion is the zero-load completion latency of the
+// broadcast-by-unicast chain: ceil((n-1)/2) sequential store-and-forward
+// stages, each taking one hop plus msgLen flit cycles plus perHopOverhead
+// cycles of ejection/re-injection handling.
+func SpidergonBroadcastCompletion(n, msgLen int, perHopOverhead float64) float64 {
+	stages := float64((n) / 2) // ceil((n-1)/2)
+	return stages * (float64(msgLen) + 1 + perHopOverhead)
+}
+
+// BroadcastAdvantage is the predicted Quarc-vs-Spidergon broadcast speedup.
+func BroadcastAdvantage(n, msgLen int) float64 {
+	return SpidergonBroadcastCompletion(n, msgLen, 1) / QuarcBroadcastCompletion(n, msgLen)
+}

@@ -1,0 +1,143 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"quarc/internal/topology"
+)
+
+func TestAvgHopsMatchesTopology(t *testing.T) {
+	for _, n := range []int{8, 16, 32, 64} {
+		p := QuarcUniform(n, 8, 0)
+		if math.Abs(p.AvgHops-topology.QuarcAvgHops(n)) > 1e-9 {
+			t.Errorf("quarc n=%d: analytic hops %v vs topology %v",
+				n, p.AvgHops, topology.QuarcAvgHops(n))
+		}
+		s := SpidergonUniform(n, 8, 0)
+		if math.Abs(s.AvgHops-topology.SpidergonAvgHops(n)) > 1e-9 {
+			t.Errorf("spidergon n=%d: analytic hops %v vs topology %v",
+				n, s.AvgHops, topology.SpidergonAvgHops(n))
+		}
+	}
+}
+
+func TestMeshAvgHopsMatchesTopology(t *testing.T) {
+	for _, wh := range [][2]int{{4, 4}, {3, 5}, {8, 8}} {
+		m, _ := topology.NewMesh(wh[0], wh[1], false)
+		p := MeshUniform(wh[0], wh[1], 8, 0, false)
+		if math.Abs(p.AvgHops-m.AvgHops()) > 1e-9 {
+			t.Errorf("mesh %dx%d: analytic %v vs topology %v",
+				wh[0], wh[1], p.AvgHops, m.AvgHops())
+		}
+	}
+}
+
+func TestZeroLoadLatency(t *testing.T) {
+	p := QuarcUniform(16, 16, 0)
+	want := topology.QuarcAvgHops(16) + 16
+	if math.Abs(p.ZeroLoadLatency-want) > 1e-9 {
+		t.Fatalf("zero-load latency %v, want %v", p.ZeroLoadLatency, want)
+	}
+	if math.Abs(p.MeanLatency-p.ZeroLoadLatency) > 1e-9 {
+		t.Fatal("at lambda=0 the mean latency must equal the zero-load latency")
+	}
+	if p.MaxChannelUtil != 0 {
+		t.Fatal("at lambda=0 utilisation must be zero")
+	}
+}
+
+func TestLatencyMonotoneInLoad(t *testing.T) {
+	prev := 0.0
+	for i, lam := range []float64{0, 0.005, 0.01, 0.02, 0.03} {
+		p := QuarcUniform(16, 16, lam)
+		if p.MeanLatency < prev {
+			t.Fatalf("latency decreased at step %d: %v < %v", i, p.MeanLatency, prev)
+		}
+		prev = p.MeanLatency
+	}
+}
+
+func TestLatencyDivergesNearSaturation(t *testing.T) {
+	p0 := QuarcUniform(16, 16, 0)
+	sat := p0.SaturationRate
+	if math.IsInf(sat, 1) || sat <= 0 {
+		t.Fatalf("implausible saturation rate %v", sat)
+	}
+	pHigh := QuarcUniform(16, 16, sat*0.98)
+	if pHigh.MeanLatency < 3*p0.MeanLatency {
+		t.Errorf("latency near saturation %v not much larger than zero-load %v",
+			pHigh.MeanLatency, p0.MeanLatency)
+	}
+	pOver := QuarcUniform(16, 16, sat*1.05)
+	if !math.IsInf(pOver.MeanLatency, 1) {
+		t.Errorf("latency beyond saturation should be +Inf, got %v", pOver.MeanLatency)
+	}
+}
+
+func TestUtilisationScalesLinearly(t *testing.T) {
+	a := QuarcUniform(16, 16, 0.01)
+	b := QuarcUniform(16, 16, 0.02)
+	if math.Abs(b.MaxChannelUtil-2*a.MaxChannelUtil) > 1e-9 {
+		t.Fatalf("utilisation not linear: %v vs %v", a.MaxChannelUtil, b.MaxChannelUtil)
+	}
+}
+
+func TestSpidergonCrossUtilisationHigherThanQuarcCross(t *testing.T) {
+	// The shared Spidergon cross channel carries the flows the Quarc splits
+	// over two channels, so for the same load its utilisation contribution
+	// is the sum of the two Quarc cross channels. Verified indirectly: the
+	// Quarc saturation rate is never below the Spidergon one.
+	for _, n := range []int{8, 16, 32, 64} {
+		q := QuarcUniform(n, 16, 0)
+		s := SpidergonUniform(n, 16, 0)
+		if q.SaturationRate < s.SaturationRate-1e-12 {
+			t.Errorf("n=%d: quarc saturation %v below spidergon %v",
+				n, q.SaturationRate, s.SaturationRate)
+		}
+	}
+}
+
+func TestBroadcastAdvantageGrowsWithN(t *testing.T) {
+	prev := 0.0
+	for _, n := range []int{8, 16, 32, 64} {
+		adv := BroadcastAdvantage(n, 16)
+		if adv <= prev {
+			t.Fatalf("advantage not growing: n=%d adv=%v prev=%v", n, adv, prev)
+		}
+		prev = adv
+	}
+	// Paper: "almost an order of magnitude improvement" for the evaluated
+	// configurations.
+	if adv := BroadcastAdvantage(64, 16); adv < 5 {
+		t.Errorf("n=64 broadcast advantage %v, expected >= 5x", adv)
+	}
+}
+
+func TestBroadcastCompletionFormulas(t *testing.T) {
+	if QuarcBroadcastCompletion(16, 16) != 20 {
+		t.Fatalf("quarc completion = %v", QuarcBroadcastCompletion(16, 16))
+	}
+	s := SpidergonBroadcastCompletion(16, 16, 1)
+	if s < 100 || s > 200 {
+		t.Fatalf("spidergon completion = %v, expected ~(n/2)(m+2)", s)
+	}
+}
+
+func TestBadInputsPanic(t *testing.T) {
+	for _, f := range []func(){
+		func() { QuarcUniform(10, 8, 0) },
+		func() { SpidergonUniform(6, 8, 0) },
+		func() { MeshUniform(1, 4, 8, 0, false) },
+		func() { QuarcUniform(16, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad input accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,97 @@
+// Package buffer implements the parameterised flit FIFOs used as the input
+// lanes of the switch (paper §2.3.1: "The buffers in the design are
+// parametrized in width and depth", two lanes per input port).
+//
+// The FIFO exposes the same observable signals the hardware buffer drives:
+// Full (used to build the CH_STATUS_N channel-status signal sent back to the
+// upstream node) and Empty (which activates the VC arbiter). It is a plain
+// ring buffer storing flits by value to keep the simulator allocation-free on
+// the hot path.
+package buffer
+
+import (
+	"fmt"
+
+	"quarc/internal/flit"
+)
+
+// FIFO is a fixed-capacity flit queue. Construct with New.
+type FIFO struct {
+	buf  []flit.Flit
+	head int
+	size int
+}
+
+// New returns a FIFO with the given capacity (depth in flits). Depth must be
+// positive.
+func New(depth int) *FIFO {
+	if depth <= 0 {
+		panic(fmt.Sprintf("buffer: non-positive depth %d", depth))
+	}
+	return &FIFO{buf: make([]flit.Flit, depth)}
+}
+
+// Cap returns the capacity in flits.
+func (q *FIFO) Cap() int { return len(q.buf) }
+
+// Len returns the number of buffered flits.
+func (q *FIFO) Len() int { return q.size }
+
+// Free returns the remaining capacity.
+func (q *FIFO) Free() int { return len(q.buf) - q.size }
+
+// Empty mirrors the hardware empty signal.
+func (q *FIFO) Empty() bool { return q.size == 0 }
+
+// Full mirrors the hardware full signal.
+func (q *FIFO) Full() bool { return q.size == len(q.buf) }
+
+// Push appends a flit. It reports false (and stores nothing) when full; the
+// hardware equivalent is a write-enable gated by the full signal.
+func (q *FIFO) Push(f flit.Flit) bool {
+	if q.Full() {
+		return false
+	}
+	q.buf[(q.head+q.size)%len(q.buf)] = f
+	q.size++
+	return true
+}
+
+// Peek returns the head flit without removing it. ok is false when empty.
+func (q *FIFO) Peek() (f flit.Flit, ok bool) {
+	if q.size == 0 {
+		return flit.Flit{}, false
+	}
+	return q.buf[q.head], true
+}
+
+// Pop removes and returns the head flit. ok is false when empty.
+func (q *FIFO) Pop() (f flit.Flit, ok bool) {
+	if q.size == 0 {
+		return flit.Flit{}, false
+	}
+	f = q.buf[q.head]
+	q.buf[q.head] = flit.Flit{}
+	q.head = (q.head + 1) % len(q.buf)
+	q.size--
+	return f, true
+}
+
+// Snapshot returns a copy of the buffered flits in queue order (head
+// first). It is an inspection hook for invariant checkers and tests and
+// does not disturb the queue.
+func (q *FIFO) Snapshot() []flit.Flit {
+	out := make([]flit.Flit, q.size)
+	for i := 0; i < q.size; i++ {
+		out[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	return out
+}
+
+// Reset discards all contents (reset_fsm_w in the paper's write controller).
+func (q *FIFO) Reset() {
+	for i := range q.buf {
+		q.buf[i] = flit.Flit{}
+	}
+	q.head, q.size = 0, 0
+}

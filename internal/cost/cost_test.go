@@ -1,0 +1,156 @@
+package cost
+
+import "testing"
+
+// paperTable1 is Table 1 of the paper: module-wise slice counts of the
+// 32-bit Quarc switch.
+var paperTable1 = map[string]int{
+	"Input Buffers":                735,
+	"Write Controller":             7,
+	"Crossbar & Mux":               186,
+	"VC Arbiter":                   30,
+	"Flow Control Unit (FCU)":      64,
+	"Output Port Controller (OPC)": 431,
+}
+
+func TestTable1MatchesPaperExactly(t *testing.T) {
+	got := Table1()
+	if len(got) != len(paperTable1) {
+		t.Fatalf("Table1 has %d modules, want %d", len(got), len(paperTable1))
+	}
+	total := 0
+	for _, row := range got {
+		want, ok := paperTable1[row.Module]
+		if !ok {
+			t.Errorf("unexpected module %q", row.Module)
+			continue
+		}
+		if row.Slices != want {
+			t.Errorf("%s: %d slices, paper says %d", row.Module, row.Slices, want)
+		}
+		total += row.Slices
+	}
+	if total != 1453 {
+		t.Errorf("32-bit Quarc total %d slices, paper says 1453", total)
+	}
+}
+
+func TestQuarc32BitTotal(t *testing.T) {
+	if got := QuarcSwitch().Slices(32); got != 1453 {
+		t.Fatalf("Quarc 32-bit = %d slices, paper says 1453", got)
+	}
+}
+
+func TestSpidergon32BitTotal(t *testing.T) {
+	if got := SpidergonSwitch().Slices(32); got != 1700 {
+		t.Fatalf("Spidergon 32-bit = %d slices, paper says 1700", got)
+	}
+}
+
+func TestQuarcSmallerAtEveryWidth(t *testing.T) {
+	// The paper's headline cost claim: better performance at no extra (in
+	// fact lower) hardware cost, across the 16/32/64-bit versions.
+	q, s := QuarcSwitch(), SpidergonSwitch()
+	for _, w := range Widths {
+		if q.Slices(w) >= s.Slices(w) {
+			t.Errorf("width %d: quarc %d slices not below spidergon %d",
+				w, q.Slices(w), s.Slices(w))
+		}
+	}
+}
+
+func TestSlicesMonotoneInWidth(t *testing.T) {
+	for _, sw := range []Switch{QuarcSwitch(), SpidergonSwitch()} {
+		prev := 0
+		for _, w := range Widths {
+			got := sw.Slices(w)
+			if got <= prev {
+				t.Errorf("%s: slices not monotone at width %d (%d <= %d)",
+					sw.Name, w, got, prev)
+			}
+			prev = got
+		}
+	}
+}
+
+func TestBuffersDominateArea(t *testing.T) {
+	// Table 1's structural observation: the buffers are by far the largest
+	// module and the crossbar+FCU are small ("the amount of area occupied
+	// by the crossbar and FCU are very minimal").
+	for _, w := range Widths {
+		rows := QuarcSwitch().ModuleSlices(w)
+		byName := map[string]int{}
+		total := 0
+		for _, r := range rows {
+			byName[r.Module] = r.Slices
+			total += r.Slices
+		}
+		for name, slices := range byName {
+			if name != "Input Buffers" && slices >= byName["Input Buffers"] {
+				t.Errorf("width %d: module %s (%d) not below buffers (%d)",
+					w, name, slices, byName["Input Buffers"])
+			}
+		}
+		if w >= 32 && byName["Input Buffers"]*2 < total {
+			t.Errorf("width %d: buffers are not the dominant module", w)
+		}
+		if byName["Crossbar & Mux"]+byName["Flow Control Unit (FCU)"] > total/4 {
+			t.Errorf("width %d: crossbar+FCU not minimal (%d of %d)",
+				w, byName["Crossbar & Mux"]+byName["Flow Control Unit (FCU)"], total)
+		}
+	}
+}
+
+func TestFig12Rows(t *testing.T) {
+	rows := Fig12()
+	if len(rows) != 3 {
+		t.Fatalf("Fig12 has %d rows", len(rows))
+	}
+	for i, r := range rows {
+		if r.Width != Widths[i] {
+			t.Errorf("row %d width %d", i, r.Width)
+		}
+		if r.QuarcAdvantagePc <= 0 {
+			t.Errorf("width %d: no area advantage (%v%%)", r.Width, r.QuarcAdvantagePc)
+		}
+	}
+	// The 32-bit row must reproduce the published totals.
+	if rows[1].QuarcSlices != 1453 || rows[1].SpidergonSlices != 1700 {
+		t.Fatalf("32-bit row = %+v", rows[1])
+	}
+}
+
+func TestControlAreaIsWidthInvariant(t *testing.T) {
+	// Modules with no datapath must cost the same at every width.
+	m := Module{Name: "fsm", Control: 30}
+	if m.Slices(16) != 30 || m.Slices(64) != 30 {
+		t.Fatal("control-only module scaled with width")
+	}
+	// Pure datapath scales linearly with the wire width.
+	d := Module{Name: "buf", Datapath: 34}
+	if d.Slices(32) != 34 {
+		t.Fatalf("reference width slices = %d", d.Slices(32))
+	}
+	if d.Slices(16) != 18 || d.Slices(64) != 66 {
+		t.Fatalf("datapath scaling wrong: %d / %d", d.Slices(16), d.Slices(64))
+	}
+}
+
+func TestPEQueueOverhead(t *testing.T) {
+	q, s, err := PEQueueOverhead(16, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper: the four Quarc queues must be about twice as deep in total
+	// as the single Spidergon queue (variance argument), but both are small
+	// (addresses, not packets).
+	if q <= s {
+		t.Fatalf("quarc queue bits %v not above spidergon %v", q, s)
+	}
+	if q > 3*s {
+		t.Fatalf("quarc queue bits %v implausibly above spidergon %v", q, s)
+	}
+	if _, _, err := PEQueueOverhead(0, 1, 6); err == nil {
+		t.Fatal("bad parameters accepted")
+	}
+}

@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"quarc/internal/analytic"
+	"quarc/internal/network"
+	"quarc/internal/plot"
+	"quarc/internal/router"
+	"quarc/internal/sim"
+	"quarc/internal/stats"
+	"quarc/internal/traffic"
+)
+
+// Contention reports the microarchitectural stall breakdown (no-credit /
+// vc-busy / arbitration-lost) and mean buffer occupancy for the Quarc and
+// the Spidergon under the same uniform workload. It explains *where* the
+// Spidergon loses: its shared cross link and single ejection port turn into
+// arbitration and credit stalls well before the rim channels saturate.
+func Contention(n, msgLen int, beta, rate float64, opts RunOpts) (string, error) {
+	var b strings.Builder
+	b.WriteString("== stall breakdown under identical load ==\n")
+	header := []string{"topology", "grants", "no-credit", "vc-busy", "arb-lost",
+		"stall/grant", "mean buf occupancy"}
+	var rows [][]string
+	for _, topo := range []Topology{TopoQuarc, TopoSpidergon} {
+		cfg := Config{Topo: topo, N: n, MsgLen: msgLen, Beta: beta, Rate: rate,
+			Warmup: opts.Warmup, Measure: opts.Measure, Drain: opts.Drain,
+			Depth: opts.Depth, Seed: opts.Seed}.withDefaults()
+		fab, nodes, err := build(cfg)
+		if err != nil {
+			return "", err
+		}
+		var k sim.Kernel
+		senders := make([]traffic.Sender, len(nodes))
+		for i, nd := range nodes {
+			senders[i] = nd
+		}
+		if _, err := traffic.Install(&k, traffic.Config{
+			N: cfg.N, Rate: cfg.Rate, Beta: cfg.Beta, MsgLen: cfg.MsgLen,
+			Seed: cfg.Seed, Until: cfg.Warmup + cfg.Measure,
+		}, senders); err != nil {
+			return "", err
+		}
+		k.Ticker(0, 1, sim.PriFabric, func(sim.Time) bool { fab.Step(); return true })
+		k.Run(cfg.Warmup + cfg.Measure)
+		for i := int64(0); i < cfg.Drain && fab.Tracker.InFlight() > 0; i++ {
+			fab.Step()
+		}
+		st := fab.RouterStats()
+		ratio := 0.0
+		if st.Grants > 0 {
+			ratio = float64(st.TotalStalls()) / float64(st.Grants)
+		}
+		rows = append(rows, []string{
+			topo.String(),
+			fmt.Sprint(st.Grants),
+			fmt.Sprint(st.Stalls[router.StallNoCredit]),
+			fmt.Sprint(st.Stalls[router.StallVCBusy]),
+			fmt.Sprint(st.Stalls[router.StallArbLost]),
+			fmt.Sprintf("%.3f", ratio),
+			fmt.Sprintf("%.2f", st.MeanOccupancy()/float64(cfg.N)),
+		})
+	}
+	b.WriteString(plot.Table(header, rows))
+	return b.String(), nil
+}
+
+// DepthRow is one point of the buffer-depth ablation.
+type DepthRow struct {
+	Depth     int
+	UniMean   float64
+	BcastMean float64
+	Saturated bool
+}
+
+// DepthSweep isolates the one free microarchitectural parameter the paper
+// leaves open ("The buffers in the design are parametrized in width and
+// depth", §2.3.1): latency versus VC buffer depth at a fixed load.
+func DepthSweep(topo Topology, n, msgLen int, beta, rate float64, opts RunOpts) ([]DepthRow, error) {
+	var rows []DepthRow
+	for _, depth := range []int{1, 2, 4, 8, 16} {
+		res, err := Run(Config{
+			Topo: topo, N: n, MsgLen: msgLen, Beta: beta, Rate: rate,
+			Warmup: opts.Warmup, Measure: opts.Measure, Drain: opts.Drain,
+			Depth: depth, Seed: opts.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, DepthRow{
+			Depth: depth, UniMean: res.UnicastMean, BcastMean: res.BcastMean,
+			Saturated: res.Saturated,
+		})
+	}
+	return rows, nil
+}
+
+// RenderDepthSweep formats the depth ablation.
+func RenderDepthSweep(topo Topology, rows []DepthRow) string {
+	header := []string{"buffer depth", "unicast", "broadcast", "saturated"}
+	var tr [][]string
+	for _, r := range rows {
+		tr = append(tr, []string{
+			fmt.Sprint(r.Depth),
+			fmt.Sprintf("%.1f", r.UniMean),
+			fmt.Sprintf("%.1f", r.BcastMean),
+			fmt.Sprint(r.Saturated),
+		})
+	}
+	return fmt.Sprintf("== buffer depth ablation (%s) ==\n", topo) + plot.Table(header, tr)
+}
+
+// Bursty compares both architectures under ON/OFF bursty traffic at the
+// same mean offered load as a uniform baseline (the paper's §1 point that
+// burstiness "exacerbates" the Spidergon's imbalance).
+func Bursty(n, msgLen int, beta float64, opts RunOpts) (string, error) {
+	base := analytic.QuarcUniform(n, msgLen, 0).SaturationRate
+	meanRate := 0.25 * base / (1 + 7*beta)
+	var b strings.Builder
+	fmt.Fprintf(&b, "== bursty vs smooth traffic at equal mean load (%.5f msgs/node/cycle) ==\n", meanRate)
+	header := []string{"topology", "smooth uni", "bursty uni", "smooth bc", "bursty bc", "bursty penalty"}
+	var rows [][]string
+	for _, topo := range []Topology{TopoQuarc, TopoSpidergon} {
+		smooth, err := Run(Config{
+			Topo: topo, N: n, MsgLen: msgLen, Beta: beta, Rate: meanRate,
+			Warmup: opts.Warmup, Measure: opts.Measure, Drain: opts.Drain,
+			Depth: opts.Depth, Seed: opts.Seed,
+		})
+		if err != nil {
+			return "", err
+		}
+		burst, err := runBursty(topo, n, msgLen, beta, meanRate, opts)
+		if err != nil {
+			return "", err
+		}
+		rows = append(rows, []string{
+			topo.String(),
+			fmt.Sprintf("%.1f", smooth.UnicastMean),
+			fmt.Sprintf("%.1f", burst.UnicastMean),
+			fmt.Sprintf("%.1f", smooth.BcastMean),
+			fmt.Sprintf("%.1f", burst.BcastMean),
+			fmt.Sprintf("%.2fx", burst.UnicastMean/smooth.UnicastMean),
+		})
+	}
+	b.WriteString(plot.Table(header, rows))
+	return b.String(), nil
+}
+
+// runBursty is Run with the ON/OFF source instead of the Bernoulli source.
+func runBursty(topo Topology, n, msgLen int, beta, meanRate float64, opts RunOpts) (Result, error) {
+	cfg := Config{Topo: topo, N: n, MsgLen: msgLen, Beta: beta, Rate: meanRate,
+		Warmup: opts.Warmup, Measure: opts.Measure, Drain: opts.Drain,
+		Depth: opts.Depth, Seed: opts.Seed}.withDefaults()
+	fab, nodes, err := build(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	var uni, bc stats.Accumulator
+	measureEnd := cfg.Warmup + cfg.Measure
+	fab.Tracker.OnDone = func(r network.MessageRecord) {
+		if r.Gen < cfg.Warmup || r.Gen >= measureEnd {
+			return
+		}
+		if r.Class == network.ClassUnicast {
+			uni.Add(float64(r.Last - r.Gen))
+		} else {
+			bc.Add(float64(r.Last - r.Gen))
+		}
+	}
+	var k sim.Kernel
+	senders := make([]traffic.Sender, len(nodes))
+	for i, nd := range nodes {
+		senders[i] = nd
+	}
+	// ON/OFF parameters: bursts of ~4 mean messages, matching mean load.
+	meanOn := 40.0
+	onRate := meanRate * 4 // 4x concentration
+	meanOff := meanOn * (onRate/meanRate - 1)
+	if _, err := traffic.InstallBursty(&k, traffic.BurstyConfig{
+		N: cfg.N, OnRate: onRate, MeanOn: meanOn, MeanOff: meanOff,
+		Beta: cfg.Beta, MsgLen: cfg.MsgLen, Seed: cfg.Seed, Until: measureEnd,
+	}, senders); err != nil {
+		return Result{}, err
+	}
+	k.Ticker(0, 1, sim.PriFabric, func(sim.Time) bool { fab.Step(); return true })
+	k.Run(measureEnd)
+	for i := int64(0); i < cfg.Drain && fab.Tracker.InFlight() > 0; i++ {
+		fab.Step()
+	}
+	return Result{
+		Cfg: cfg, UnicastMean: uni.Mean(), UnicastCount: uni.Count(),
+		BcastMean: bc.Mean(), BcastCount: bc.Count(),
+		Leftover: fab.Tracker.InFlight(),
+	}, nil
+}
+
+// HotspotComparison stresses both architectures with a hotspot pattern: a
+// bias fraction of all unicasts target one node. The Quarc's four dedicated
+// ejection paths and balanced links degrade more gracefully than the
+// Spidergon's single arbitrated ejection port.
+func HotspotComparison(n, msgLen int, bias float64, opts RunOpts) (string, error) {
+	base := analytic.QuarcUniform(n, msgLen, 0).SaturationRate
+	rates := []float64{0.15 * base, 0.3 * base}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== hotspot traffic (bias %.0f%% to node 0) ==\n", bias*100)
+	header := []string{"topology", "rate", "uniform uni", "hotspot uni", "hotspot penalty", "saturated"}
+	var rows [][]string
+	for _, topo := range []Topology{TopoQuarc, TopoSpidergon} {
+		for _, rate := range rates {
+			uniform, err := Run(Config{
+				Topo: topo, N: n, MsgLen: msgLen, Rate: rate,
+				Warmup: opts.Warmup, Measure: opts.Measure, Drain: opts.Drain,
+				Depth: opts.Depth, Seed: opts.Seed,
+			})
+			if err != nil {
+				return "", err
+			}
+			hot, err := Run(Config{
+				Topo: topo, N: n, MsgLen: msgLen, Rate: rate,
+				Pattern: traffic.Hotspot, HotspotBias: bias,
+				Warmup: opts.Warmup, Measure: opts.Measure, Drain: opts.Drain,
+				Depth: opts.Depth, Seed: opts.Seed,
+			})
+			if err != nil {
+				return "", err
+			}
+			rows = append(rows, []string{
+				topo.String(), fmt.Sprintf("%.5f", rate),
+				fmt.Sprintf("%.1f", uniform.UnicastMean),
+				fmt.Sprintf("%.1f", hot.UnicastMean),
+				fmt.Sprintf("%.2fx", hot.UnicastMean/uniform.UnicastMean),
+				fmt.Sprint(hot.Saturated),
+			})
+		}
+	}
+	b.WriteString(plot.Table(header, rows))
+	return b.String(), nil
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV emits a panel's sweep as machine-readable CSV with one row per
+// (rate, architecture) pair, suitable for replotting the paper's figures
+// with external tools.
+func (pr PanelResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"figure", "panel", "n", "msglen", "beta", "topology", "rate",
+		"unicast_mean", "unicast_ci95", "unicast_n",
+		"bcast_mean", "bcast_ci95", "bcast_n",
+		"throughput_flits_node_cycle", "saturated"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+	for _, topo := range []Topology{TopoQuarc, TopoSpidergon} {
+		results := pr.Results[topo]
+		for i, rate := range pr.RatesSwept {
+			if i >= len(results) {
+				return fmt.Errorf("experiments: incomplete sweep for %v", topo)
+			}
+			r := results[i]
+			row := []string{
+				pr.Spec.Figure, pr.Spec.Name,
+				strconv.Itoa(pr.Spec.N), strconv.Itoa(pr.Spec.MsgLen), f(pr.Spec.Beta),
+				topo.String(), f(rate),
+				f(r.UnicastMean), f(r.UnicastCI), strconv.FormatInt(r.UnicastCount, 10),
+				f(r.BcastMean), f(r.BcastCI), strconv.FormatInt(r.BcastCount, 10),
+				f(r.Throughput), strconv.FormatBool(r.Saturated),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,260 @@
+// Package experiments is the reproduction harness: it assembles a network,
+// drives it with the paper's workloads and measures the quantities plotted
+// in the evaluation section — average unicast latency, average broadcast
+// completion latency and sustainable load versus offered message rate, for
+// every configuration of Figs 9, 10 and 11 — plus the cost tables (Table 1,
+// Fig 12), the analytical-model verification of §3.2, the mesh/torus
+// comparison announced in the conclusion, and the ablation of the paper's
+// three architectural modifications.
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"quarc/internal/mesh"
+	"quarc/internal/network"
+	"quarc/internal/quarc"
+	"quarc/internal/sim"
+	"quarc/internal/spidergon"
+	"quarc/internal/stats"
+	"quarc/internal/traffic"
+)
+
+// Topology selects the network model under test.
+type Topology int
+
+const (
+	TopoQuarc Topology = iota
+	TopoSpidergon
+	// Ablations of the paper's modifications (§2.2 i-iii), built on the
+	// Quarc topology:
+	TopoQuarcChainBcast  // true broadcast disabled (modification iii off)
+	TopoQuarcSingleQueue // all-port source queues disabled (modification ii off)
+	// Future-work comparisons (paper §4):
+	TopoMesh
+	TopoTorus
+)
+
+func (t Topology) String() string {
+	switch t {
+	case TopoQuarc:
+		return "quarc"
+	case TopoSpidergon:
+		return "spidergon"
+	case TopoQuarcChainBcast:
+		return "quarc-chainbcast"
+	case TopoQuarcSingleQueue:
+		return "quarc-1queue"
+	case TopoMesh:
+		return "mesh"
+	case TopoTorus:
+		return "torus"
+	}
+	return fmt.Sprintf("Topology(%d)", int(t))
+}
+
+// Config is a single simulation run.
+type Config struct {
+	Topo    Topology
+	N       int     // nodes (square number for mesh/torus)
+	MsgLen  int     // M, flits per message
+	Beta    float64 // broadcast fraction
+	Rate    float64 // offered messages/node/cycle
+	Pattern traffic.Pattern
+	// HotspotBias is the probability a Hotspot-pattern unicast targets node
+	// 0 (ignored for other patterns).
+	HotspotBias float64
+	Depth       int // VC buffer depth (default 4)
+	Warmup      int64
+	Measure     int64
+	Drain       int64
+	Seed        uint64
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Depth == 0 {
+		c.Depth = 4
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 2000
+	}
+	if c.Measure == 0 {
+		c.Measure = 10000
+	}
+	if c.Drain == 0 {
+		c.Drain = 20000
+	}
+	if c.MsgLen == 0 {
+		c.MsgLen = 16
+	}
+	return c
+}
+
+// Result summarises one run.
+type Result struct {
+	Cfg           Config
+	UnicastMean   float64 // mean tail latency, cycles
+	UnicastCI     float64
+	UnicastP95    float64 // 95th percentile unicast latency
+	UnicastP99    float64
+	UnicastCount  int64
+	BcastMean     float64 // mean completion (last destination) latency
+	BcastCI       float64
+	BcastP95      float64
+	BcastDelivery float64 // mean per-destination delivery latency
+	BcastCount    int64
+	Throughput    float64 // delivered flits/node/cycle in the window
+	Saturated     bool
+	Leftover      int // messages still in flight after the drain budget
+	Duplicates    uint64
+}
+
+// node is the adapter surface the harness needs.
+type node interface {
+	traffic.Sender
+	Backlog() int
+}
+
+// build assembles the requested network.
+func build(cfg Config) (*network.Fabric, []node, error) {
+	switch cfg.Topo {
+	case TopoQuarc, TopoQuarcChainBcast, TopoQuarcSingleQueue:
+		qc := quarc.Config{
+			N: cfg.N, Depth: cfg.Depth,
+			ChainBroadcast: cfg.Topo == TopoQuarcChainBcast,
+			SingleQueue:    cfg.Topo == TopoQuarcSingleQueue,
+		}
+		fab, ts, err := quarc.Build(qc)
+		if err != nil {
+			return nil, nil, err
+		}
+		nodes := make([]node, len(ts))
+		for i, t := range ts {
+			nodes[i] = t
+		}
+		return fab, nodes, nil
+	case TopoSpidergon:
+		fab, as, err := spidergon.Build(spidergon.Config{N: cfg.N, Depth: cfg.Depth})
+		if err != nil {
+			return nil, nil, err
+		}
+		nodes := make([]node, len(as))
+		for i, a := range as {
+			nodes[i] = a
+		}
+		return fab, nodes, nil
+	case TopoMesh, TopoTorus:
+		side := int(math.Round(math.Sqrt(float64(cfg.N))))
+		if side*side != cfg.N {
+			return nil, nil, fmt.Errorf("experiments: mesh size %d is not square", cfg.N)
+		}
+		fab, as, err := mesh.Build(mesh.Config{
+			W: side, H: side, Torus: cfg.Topo == TopoTorus, Depth: cfg.Depth,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		nodes := make([]node, len(as))
+		for i, a := range as {
+			nodes[i] = a
+		}
+		return fab, nodes, nil
+	}
+	return nil, nil, fmt.Errorf("experiments: unknown topology %v", cfg.Topo)
+}
+
+// Run executes one configuration and returns its measurements.
+func Run(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	fab, nodes, err := build(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+
+	var uni, bc, bcDeliv stats.Accumulator
+	var uniLats, bcLats []float64
+	measureEnd := cfg.Warmup + cfg.Measure
+	fab.Tracker.OnDone = func(r network.MessageRecord) {
+		if r.Gen < cfg.Warmup || r.Gen >= measureEnd {
+			return
+		}
+		switch r.Class {
+		case network.ClassUnicast:
+			uni.Add(float64(r.Last - r.Gen))
+			uniLats = append(uniLats, float64(r.Last-r.Gen))
+		case network.ClassBroadcast, network.ClassMulticast:
+			bc.Add(float64(r.Last - r.Gen))
+			bcLats = append(bcLats, float64(r.Last-r.Gen))
+			bcDeliv.Add(float64(r.DeliSum)/float64(r.Delivered) - float64(r.Gen))
+		}
+	}
+
+	var k sim.Kernel
+	senders := make([]traffic.Sender, len(nodes))
+	for i, nd := range nodes {
+		senders[i] = nd
+	}
+	_, err = traffic.Install(&k, traffic.Config{
+		N: cfg.N, Rate: cfg.Rate, Beta: cfg.Beta, MsgLen: cfg.MsgLen,
+		Pattern: cfg.Pattern, HotspotBias: cfg.HotspotBias,
+		Seed: cfg.Seed, Until: measureEnd,
+	}, senders)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// The fabric ticks every cycle after traffic arrivals.
+	k.Ticker(0, 1, sim.PriFabric, func(now sim.Time) bool {
+		fab.Step()
+		return true
+	})
+
+	// Saturation sampling: total source backlog every sampleEvery cycles
+	// during the measurement window.
+	var det stats.SaturationDetector
+	sampleEvery := cfg.Measure / 30
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	k.Ticker(cfg.Warmup, sampleEvery, sim.PriStats, func(now sim.Time) bool {
+		total := 0
+		for _, nd := range nodes {
+			total += nd.Backlog()
+		}
+		det.Sample(float64(total))
+		return now < measureEnd
+	})
+
+	// Throughput window bounds.
+	var deliveredAtWarmup, deliveredAtEnd uint64
+	k.Schedule(cfg.Warmup, sim.PriStats, func(sim.Time) { deliveredAtWarmup = fab.FlitsDelivered() })
+	k.Schedule(measureEnd, sim.PriStats, func(sim.Time) { deliveredAtEnd = fab.FlitsDelivered() })
+
+	k.Run(measureEnd)
+	// Drain: no more traffic; step the fabric until everything lands or the
+	// budget runs out.
+	for i := int64(0); i < cfg.Drain && fab.Tracker.InFlight() > 0; i++ {
+		fab.Step()
+	}
+
+	res := Result{
+		Cfg:           cfg,
+		UnicastMean:   uni.Mean(),
+		UnicastCI:     uni.CI95(),
+		UnicastP95:    stats.Percentile(uniLats, 95),
+		UnicastP99:    stats.Percentile(uniLats, 99),
+		UnicastCount:  uni.Count(),
+		BcastMean:     bc.Mean(),
+		BcastCI:       bc.CI95(),
+		BcastP95:      stats.Percentile(bcLats, 95),
+		BcastDelivery: bcDeliv.Mean(),
+		BcastCount:    bc.Count(),
+		Throughput:    float64(deliveredAtEnd-deliveredAtWarmup) / float64(cfg.N) / float64(cfg.Measure),
+		Leftover:      fab.Tracker.InFlight(),
+		Duplicates:    fab.Tracker.Duplicates(),
+	}
+	res.Saturated = det.Saturated() || res.Leftover > 0
+	return res, nil
+}

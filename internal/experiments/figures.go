@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"quarc/internal/analytic"
+	"quarc/internal/plot"
+	"quarc/internal/stats"
+)
+
+// PanelSpec is one panel of Figs 9-11: a (N, M, beta) configuration swept
+// over offered message rates.
+type PanelSpec struct {
+	Figure string
+	Name   string
+	N      int
+	MsgLen int
+	Beta   float64
+	Rates  []float64 // offered loads; if nil, a grid is derived from the
+	// analytic channel-capacity bound
+}
+
+// RunOpts scales the simulation effort.
+type RunOpts struct {
+	Warmup  int64
+	Measure int64
+	Drain   int64
+	Depth   int
+	Seed    uint64
+	Points  int // rate-grid points when PanelSpec.Rates is nil
+}
+
+// DefaultOpts is the full-fidelity configuration used by cmd/quarcbench.
+func DefaultOpts() RunOpts {
+	return RunOpts{Warmup: 3000, Measure: 12000, Drain: 40000, Depth: 4, Seed: 20090523, Points: 10}
+}
+
+// FastOpts is a reduced configuration for tests and -fast runs.
+func FastOpts() RunOpts {
+	return RunOpts{Warmup: 500, Measure: 2500, Drain: 10000, Depth: 4, Seed: 20090523, Points: 5}
+}
+
+// rateGrid derives offered loads from the analytic capacity bound of the
+// Quarc under the panel's message length, spanning from deep stability to
+// just past the Quarc's empirical saturation (the Spidergon saturates
+// earlier, mid-grid, exactly as in the paper's figures).
+//
+// Two corrections scale the channel-capacity bound to the empirical knee:
+// wormhole switching with two VCs and shallow buffers sustains roughly half
+// of raw channel capacity (blocking chains), and each broadcast multiplies
+// rim-link occupancy: a BRCP branch set occupies about half the rim links
+// for M cycles, giving a (1-beta) + beta*N/2 / (N/16) = 1 + 7*beta load
+// multiplier relative to unicast-only traffic.
+func rateGrid(spec PanelSpec, points int) []float64 {
+	base := analytic.QuarcUniform(spec.N, spec.MsgLen, 0).SaturationRate
+	derate := 1 + 7*spec.Beta
+	top := 0.6 * base / derate
+	grid := make([]float64, points)
+	for i := range grid {
+		grid[i] = top * float64(i+1) / float64(points)
+	}
+	return grid
+}
+
+// Fig9Panels: N = 16, beta = 5%, M in {8, 16, 32} (paper Fig 9).
+func Fig9Panels() []PanelSpec {
+	var out []PanelSpec
+	for _, m := range []int{8, 16, 32} {
+		out = append(out, PanelSpec{
+			Figure: "fig9", Name: fmt.Sprintf("N=16 beta=5%% M=%d", m),
+			N: 16, MsgLen: m, Beta: 0.05,
+		})
+	}
+	return out
+}
+
+// Fig10Panels: M = 16, beta = 10%, N in {16, 32, 64} (paper Fig 10).
+func Fig10Panels() []PanelSpec {
+	var out []PanelSpec
+	for _, n := range []int{16, 32, 64} {
+		out = append(out, PanelSpec{
+			Figure: "fig10", Name: fmt.Sprintf("N=%d beta=10%% M=16", n),
+			N: n, MsgLen: 16, Beta: 0.10,
+		})
+	}
+	return out
+}
+
+// Fig11Panels: N = 64, M = 16, beta in {0, 5, 10}% (paper Fig 11).
+func Fig11Panels() []PanelSpec {
+	var out []PanelSpec
+	for _, beta := range []float64{0, 0.05, 0.10} {
+		out = append(out, PanelSpec{
+			Figure: "fig11", Name: fmt.Sprintf("N=64 beta=%.0f%% M=16", beta*100),
+			N: 64, MsgLen: 16, Beta: beta,
+		})
+	}
+	return out
+}
+
+// PanelResult is the measured panel: four curves as in the paper's figures
+// (unicast and broadcast latency for Quarc and Spidergon).
+type PanelResult struct {
+	Spec       PanelSpec
+	QuarcUni   stats.Series
+	QuarcBc    stats.Series
+	SpiderUni  stats.Series
+	SpiderBc   stats.Series
+	Results    map[Topology][]Result
+	RatesSwept []float64
+}
+
+// RunPanel sweeps one panel for both architectures.
+func RunPanel(spec PanelSpec, opts RunOpts) (PanelResult, error) {
+	rates := spec.Rates
+	if rates == nil {
+		rates = rateGrid(spec, opts.Points)
+	}
+	pr := PanelResult{
+		Spec:       spec,
+		RatesSwept: rates,
+		Results:    map[Topology][]Result{},
+	}
+	pr.QuarcUni.Name = "quarc unicast"
+	pr.QuarcBc.Name = "quarc broadcast"
+	pr.SpiderUni.Name = "spidergon unicast"
+	pr.SpiderBc.Name = "spidergon broadcast"
+	for _, topo := range []Topology{TopoQuarc, TopoSpidergon} {
+		for _, rate := range rates {
+			res, err := Run(Config{
+				Topo: topo, N: spec.N, MsgLen: spec.MsgLen, Beta: spec.Beta,
+				Rate: rate, Depth: opts.Depth,
+				Warmup: opts.Warmup, Measure: opts.Measure, Drain: opts.Drain,
+				Seed: opts.Seed,
+			})
+			if err != nil {
+				return pr, err
+			}
+			pr.Results[topo] = append(pr.Results[topo], res)
+			switch topo {
+			case TopoQuarc:
+				pr.QuarcUni.Append(rate, res.UnicastMean, res.Saturated)
+				if spec.Beta > 0 {
+					pr.QuarcBc.Append(rate, res.BcastMean, res.Saturated)
+				}
+			case TopoSpidergon:
+				pr.SpiderUni.Append(rate, res.UnicastMean, res.Saturated)
+				if spec.Beta > 0 {
+					pr.SpiderBc.Append(rate, res.BcastMean, res.Saturated)
+				}
+			}
+		}
+	}
+	return pr, nil
+}
+
+// Render formats the panel as the paper-style rows plus an ASCII chart.
+func (pr PanelResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", pr.Spec.Figure, pr.Spec.Name)
+	header := []string{"rate", "quarc uni", "quarc bc", "spider uni", "spider bc", "q sat", "s sat"}
+	var rows [][]string
+	qs, ss := pr.Results[TopoQuarc], pr.Results[TopoSpidergon]
+	for i, rate := range pr.RatesSwept {
+		row := []string{fmt.Sprintf("%.5f", rate)}
+		cell := func(v float64, n int64) string {
+			if n == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.1f", v)
+		}
+		row = append(row,
+			cell(qs[i].UnicastMean, qs[i].UnicastCount),
+			cell(qs[i].BcastMean, qs[i].BcastCount),
+			cell(ss[i].UnicastMean, ss[i].UnicastCount),
+			cell(ss[i].BcastMean, ss[i].BcastCount),
+			fmt.Sprintf("%v", qs[i].Saturated),
+			fmt.Sprintf("%v", ss[i].Saturated),
+		)
+		rows = append(rows, row)
+	}
+	b.WriteString(plot.Table(header, rows))
+	curves := []plot.Curve{
+		{Name: pr.QuarcUni.Name, X: pr.QuarcUni.X, Y: pr.QuarcUni.Y, Marker: 'q'},
+		{Name: pr.SpiderUni.Name, X: pr.SpiderUni.X, Y: pr.SpiderUni.Y, Marker: 's'},
+	}
+	if pr.Spec.Beta > 0 {
+		curves = append(curves,
+			plot.Curve{Name: pr.QuarcBc.Name, X: pr.QuarcBc.X, Y: pr.QuarcBc.Y, Marker: 'Q'},
+			plot.Curve{Name: pr.SpiderBc.Name, X: pr.SpiderBc.X, Y: pr.SpiderBc.Y, Marker: 'S'},
+		)
+	}
+	b.WriteString(plot.Chart("latency (cycles) vs offered rate (msgs/node/cycle)", curves, 60, 14))
+	return b.String()
+}

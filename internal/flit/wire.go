@@ -1,0 +1,150 @@
+package flit
+
+import "fmt"
+
+// Wire encoding of the 34-bit flit (paper Fig 7), packed into the low 34
+// bits of a uint64.
+//
+//	bits [1:0]   flit type (Body=0, Header=1, Tail=2)
+//	body/tail:
+//	bits [33:2]  32-bit payload
+//	header:
+//	bits [7:2]   destination node (6 bits; the paper assumes N <= 64, §2.6)
+//	bits [13:8]  source node
+//	bits [19:14] packet length in flits (up to 63)
+//	bits [27:20] chain remaining-count (BcastChain) or low PktID bits
+//	bit  [28]    chain direction (BcastChain: 1 = counter-clockwise)
+//	bits [30:29] reserved
+//	bits [33:31] traffic type (unicast/multicast/broadcast/bcast-chain)
+//
+// Multicast packets carry their bitstring in the payloads of the first one
+// or two body flits ("multi flit headers", §2.6): flit 1 carries bits 0..31,
+// flit 2 (present when N > 32) carries bits 32..63.
+const (
+	WireBits = 34
+	WireMask = (uint64(1) << WireBits) - 1
+
+	// MaxNodes is the largest network the single-flit header can address.
+	MaxNodes = 64
+	// MaxPktLen is the largest packet length the header length field holds.
+	MaxPktLen = 63
+)
+
+// EncodeWire packs a flit into its 34-bit wire representation.
+func EncodeWire(f Flit) (uint64, error) {
+	w := uint64(f.Kind) & 0x3
+	if f.Kind == Header {
+		if f.Dst < 0 || f.Dst >= MaxNodes {
+			return 0, fmt.Errorf("flit: destination %d does not fit 6 bits", f.Dst)
+		}
+		if f.Src < 0 || f.Src >= MaxNodes {
+			return 0, fmt.Errorf("flit: source %d does not fit 6 bits", f.Src)
+		}
+		if f.PktLen < 2 || f.PktLen > MaxPktLen {
+			return 0, fmt.Errorf("flit: packet length %d does not fit", f.PktLen)
+		}
+		if f.Remain < 0 || f.Remain > 255 {
+			return 0, fmt.Errorf("flit: chain count %d does not fit 8 bits", f.Remain)
+		}
+		w |= uint64(f.Dst) << 2
+		w |= uint64(f.Src) << 8
+		w |= uint64(f.PktLen) << 14
+		w |= uint64(f.Remain) << 20
+		if f.ChainCCW {
+			w |= 1 << 28
+		}
+		w |= (uint64(f.Traffic) & 0x7) << 31
+	} else {
+		w |= uint64(f.Payload) << 2
+	}
+	return w & WireMask, nil
+}
+
+// DecodeWire unpacks a 34-bit wire word. Only wire-visible fields are
+// populated; simulator metadata (MsgID, Gen, ...) is zero.
+func DecodeWire(w uint64) (Flit, error) {
+	if w&^WireMask != 0 {
+		return Flit{}, fmt.Errorf("flit: word %#x wider than 34 bits", w)
+	}
+	var f Flit
+	k := Kind(w & 0x3)
+	if k != Body && k != Header && k != Tail {
+		return Flit{}, fmt.Errorf("flit: invalid flit type %d", k)
+	}
+	f.Kind = k
+	if k == Header {
+		f.Dst = int(w >> 2 & 0x3F)
+		f.Src = int(w >> 8 & 0x3F)
+		f.PktLen = int(w >> 14 & 0x3F)
+		f.Remain = int(w >> 20 & 0xFF)
+		f.ChainCCW = w>>28&1 != 0
+		f.Traffic = Traffic(w >> 31 & 0x7)
+		if f.Traffic > BcastChain {
+			return Flit{}, fmt.Errorf("flit: invalid traffic type %d", f.Traffic)
+		}
+	} else {
+		f.Payload = uint32(w >> 2)
+	}
+	return f, nil
+}
+
+// EncodePacket encodes a whole packet to wire words, embedding the multicast
+// bitstring into the first body flits as described above.
+func EncodePacket(p []Flit) ([]uint64, error) {
+	if err := Validate(p); err != nil {
+		return nil, err
+	}
+	out := make([]uint64, len(p))
+	for i, f := range p {
+		if p[0].Traffic == Multicast {
+			switch i {
+			case 1:
+				f.Payload = uint32(p[0].Bits)
+			case 2:
+				f.Payload = uint32(p[0].Bits >> 32)
+			}
+		}
+		w, err := EncodeWire(f)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = w
+	}
+	return out, nil
+}
+
+// DecodePacket reverses EncodePacket, reassembling the multicast bitstring.
+// Packets shorter than 3 flits can carry at most 32 bitstring bits.
+func DecodePacket(words []uint64) ([]Flit, error) {
+	if len(words) < 2 {
+		return nil, fmt.Errorf("flit: packet of %d words, need at least 2", len(words))
+	}
+	p := make([]Flit, len(words))
+	for i, w := range words {
+		f, err := DecodeWire(w)
+		if err != nil {
+			return nil, err
+		}
+		f.Seq = i
+		p[i] = f
+	}
+	h := &p[0]
+	if h.Kind != Header {
+		return nil, fmt.Errorf("flit: first word is %v, want header", p[0].Kind)
+	}
+	if h.PktLen != len(words) {
+		return nil, fmt.Errorf("flit: header PktLen %d != %d words", h.PktLen, len(words))
+	}
+	if h.Traffic == Multicast {
+		h.Bits = uint64(p[1].Payload)
+		if len(p) > 2 {
+			h.Bits |= uint64(p[2].Payload) << 32
+		}
+	}
+	for i := 1; i < len(p); i++ {
+		p[i].Src, p[i].Dst = h.Src, h.Dst
+		p[i].Traffic = h.Traffic
+		p[i].PktLen = h.PktLen
+	}
+	return p, nil
+}

@@ -1,0 +1,155 @@
+package network
+
+import (
+	"fmt"
+
+	"quarc/internal/flit"
+	"quarc/internal/router"
+)
+
+// PacketQueue is an unbounded source queue of packets waiting at a network
+// adapter, streaming the front packet flit by flit. The open-loop traffic
+// model of the paper's evaluation queues messages here while the injection
+// channel is busy; the queue population is the saturation signal.
+type PacketQueue struct {
+	pkts [][]flit.Flit
+	pos  int // next flit of the front packet
+}
+
+// PushBack appends a packet.
+func (q *PacketQueue) PushBack(p []flit.Flit) {
+	if len(p) < 2 {
+		panic("network: packet too short")
+	}
+	q.pkts = append(q.pkts, p)
+}
+
+// PushFront inserts a packet to be sent next. If the front packet has
+// already started streaming it is not disturbed: the new packet goes second
+// (a switch cannot recall flits already committed to the channel).
+func (q *PacketQueue) PushFront(p []flit.Flit) {
+	if len(p) < 2 {
+		panic("network: packet too short")
+	}
+	at := 0
+	if q.pos > 0 && len(q.pkts) > 0 {
+		at = 1
+	}
+	q.pkts = append(q.pkts, nil)
+	copy(q.pkts[at+1:], q.pkts[at:])
+	q.pkts[at] = p
+}
+
+// NextFlit peeks at the next flit to inject.
+func (q *PacketQueue) NextFlit() (flit.Flit, bool) {
+	if len(q.pkts) == 0 {
+		return flit.Flit{}, false
+	}
+	return q.pkts[0][q.pos], true
+}
+
+// Advance consumes the peeked flit.
+func (q *PacketQueue) Advance() {
+	if len(q.pkts) == 0 {
+		panic("network: Advance on empty queue")
+	}
+	q.pos++
+	if q.pos == len(q.pkts[0]) {
+		q.pkts[0] = nil
+		q.pkts = q.pkts[1:]
+		q.pos = 0
+	}
+}
+
+// Packets returns the queued packet count.
+func (q *PacketQueue) Packets() int { return len(q.pkts) }
+
+// FlitBacklog returns the number of flits still to inject.
+func (q *PacketQueue) FlitBacklog() int {
+	total := 0
+	for i, p := range q.pkts {
+		total += len(p)
+		if i == 0 {
+			total -= q.pos
+		}
+	}
+	return total
+}
+
+// Assembler reassembles packets delivered flit by flit (the receive side of
+// the transceiver). Packets from different sources interleave freely; each
+// is tracked by packet id.
+type Assembler struct {
+	partial map[uint64]int
+}
+
+// Add consumes one delivered flit and reports whether it completed a packet
+// (i.e. it was the tail and all earlier flits had arrived).
+func (a *Assembler) Add(f flit.Flit) bool {
+	if a.partial == nil {
+		a.partial = make(map[uint64]int)
+	}
+	got := a.partial[f.PktID]
+	if f.Seq != got {
+		panic(fmt.Sprintf("network: out-of-order delivery: pkt %d flit %d after %d flits",
+			f.PktID, f.Seq, got))
+	}
+	if f.Kind == flit.Tail {
+		if got+1 != f.PktLen && f.PktLen != 0 {
+			panic(fmt.Sprintf("network: tail of pkt %d after %d flits", f.PktID, got+1))
+		}
+		delete(a.partial, f.PktID)
+		return true
+	}
+	a.partial[f.PktID] = got + 1
+	return false
+}
+
+// Pending returns the number of partially received packets.
+func (a *Assembler) Pending() int { return len(a.partial) }
+
+// BaseAdapter implements the mechanics shared by every network adapter:
+// per-injection-port source queues, one-flit-per-cycle feeding, and receive
+// reassembly. Topology-specific adapters embed it and set OnTail to handle
+// completed deliveries (statistics, chain retransmission).
+type BaseAdapter struct {
+	Node     int
+	R        *router.Router
+	Queues   []PacketQueue
+	InjPorts []int // router input port per queue
+	asm      Assembler
+
+	// OnTail is invoked when a packet completes reassembly at this node.
+	OnTail func(f flit.Flit, now int64)
+}
+
+// Feed pushes at most one flit per injection port into the router.
+func (b *BaseAdapter) Feed(now int64) {
+	for qi := range b.Queues {
+		q := &b.Queues[qi]
+		f, ok := q.NextFlit()
+		if !ok {
+			continue
+		}
+		if b.R.Push(b.InjPorts[qi], 0, f) {
+			q.Advance()
+		}
+	}
+}
+
+// Receive reassembles delivered flits and fires OnTail on completion.
+func (b *BaseAdapter) Receive(f flit.Flit, now int64) {
+	if b.asm.Add(f) {
+		b.OnTail(f, now)
+	}
+}
+
+// Backlog returns the total flits waiting in this adapter's source queues;
+// the experiment layer samples it to detect saturation.
+func (b *BaseAdapter) Backlog() int {
+	total := 0
+	for i := range b.Queues {
+		total += b.Queues[i].FlitBacklog()
+	}
+	return total
+}

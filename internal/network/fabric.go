@@ -1,0 +1,219 @@
+// Package network assembles switches into a simulated NoC: it owns the
+// wiring between output ports and downstream input ports, runs the global
+// two-phase (compute/commit) cycle, feeds network adapters, delivers ejected
+// flits and tracks message lifecycles for the statistics layer.
+//
+// The fabric is topology-agnostic: internal/quarc, internal/spidergon and
+// internal/mesh provide router configurations, wiring tables and adapters.
+package network
+
+import (
+	"fmt"
+
+	"quarc/internal/flit"
+	"quarc/internal/router"
+	"quarc/internal/trace"
+)
+
+// PortRef identifies an input port of a node.
+type PortRef struct {
+	Node, Port int
+}
+
+// OutputWire describes where an output port leads: a downstream input port,
+// or the local PE (shared ejection sinks).
+type OutputWire struct {
+	Sink bool
+	Dst  PortRef
+}
+
+// Adapter is a network adapter (the paper's transceiver for Quarc, the
+// one-port NI for Spidergon): it feeds injection lanes and consumes
+// delivered flits.
+type Adapter interface {
+	// Feed may push at most one flit per injection port into its router's
+	// injection lanes. Called once per cycle after commits.
+	Feed(now int64)
+	// Receive consumes a flit delivered to the local PE.
+	Receive(f flit.Flit, now int64)
+}
+
+// Fabric is the assembled network.
+type Fabric struct {
+	N        int
+	Routers  []*router.Router
+	Adapters []Adapter
+	Tracker  *Tracker
+	// Trace, when non-nil, records flit-level forward/deliver events.
+	Trace *trace.Buffer
+
+	wires    [][]OutputWire        // [node][out]
+	views    [][]router.Downstream // [node][out] credit views
+	injStart []int                 // first injection port index per node
+	moves    [][]router.Move       // scratch, reused
+	cycle    int64
+	pktSeq   uint64
+	msgSeq   uint64
+
+	delivered uint64 // flits delivered to PEs
+	forwarded uint64 // flits crossing links
+}
+
+type creditView struct {
+	r    *router.Router
+	port int
+}
+
+func (c creditView) CreditFree(vc int) int { return c.r.SnapFree(c.port, vc) }
+
+// New assembles a fabric. wires[node][out] must describe every output port
+// of every router; injStart[node] is the index of the first injection input
+// port of node (ports below it are network inputs whose multicast bitstrings
+// shift on forward).
+func New(routers []*router.Router, wires [][]OutputWire, injStart []int) *Fabric {
+	n := len(routers)
+	if len(wires) != n || len(injStart) != n {
+		panic("network: inconsistent fabric tables")
+	}
+	f := &Fabric{
+		N:        n,
+		Routers:  routers,
+		Adapters: make([]Adapter, n),
+		Tracker:  NewTracker(),
+		wires:    wires,
+		injStart: injStart,
+		moves:    make([][]router.Move, n),
+	}
+	f.views = make([][]router.Downstream, n)
+	for node, ws := range wires {
+		f.views[node] = make([]router.Downstream, len(ws))
+		for o, w := range ws {
+			if w.Sink {
+				f.views[node][o] = nil
+				continue
+			}
+			if w.Dst.Node < 0 || w.Dst.Node >= n {
+				panic(fmt.Sprintf("network: wire %d.%d to bad node %d", node, o, w.Dst.Node))
+			}
+			f.views[node][o] = creditView{r: routers[w.Dst.Node], port: w.Dst.Port}
+		}
+	}
+	return f
+}
+
+// SetAdapter installs the network adapter of a node. All nodes must have one
+// before stepping.
+func (f *Fabric) SetAdapter(node int, a Adapter) { f.Adapters[node] = a }
+
+// Now returns the current cycle.
+func (f *Fabric) Now() int64 { return f.cycle }
+
+// NextPktID returns a fresh packet identifier.
+func (f *Fabric) NextPktID() uint64 { f.pktSeq++; return f.pktSeq }
+
+// NextMsgID returns a fresh message identifier.
+func (f *Fabric) NextMsgID() uint64 { f.msgSeq++; return f.msgSeq }
+
+// FlitsDelivered returns the total flits handed to PEs.
+func (f *Fabric) FlitsDelivered() uint64 { return f.delivered }
+
+// FlitsForwarded returns the total flits that crossed links (including
+// injection links).
+func (f *Fabric) FlitsForwarded() uint64 { return f.forwarded }
+
+// RouterStats aggregates the microarchitectural counters of all switches:
+// total grants, stalls by cause, and the network-wide buffer-occupancy
+// integral.
+func (f *Fabric) RouterStats() router.Stats {
+	var agg router.Stats
+	for _, r := range f.Routers {
+		s := r.Stats()
+		agg.Grants += s.Grants
+		agg.OccupancySum += s.OccupancySum
+		agg.Cycles += s.Cycles
+		for i := range s.Stalls {
+			agg.Stalls[i] += s.Stalls[i]
+		}
+	}
+	return agg
+}
+
+// LinkLoad returns the per-output-port flit counts, indexed [node][out], for
+// the edge-load-balance analysis (§2.1: Spidergon's edge asymmetry).
+func (f *Fabric) LinkLoad() [][]uint64 {
+	out := make([][]uint64, f.N)
+	for node, r := range f.Routers {
+		out[node] = make([]uint64, len(f.wires[node]))
+		for o := range f.wires[node] {
+			out[node][o] = r.Sent(o)
+		}
+	}
+	return out
+}
+
+// Step advances the network by one cycle.
+func (f *Fabric) Step() {
+	// Phase 0: latch occupancy snapshots (registered credits).
+	for _, r := range f.Routers {
+		r.Snapshot()
+	}
+	// Phase 1: all routers arbitrate against the snapshots.
+	for node, r := range f.Routers {
+		f.moves[node] = r.Arbitrate(f.views[node], f.moves[node][:0])
+	}
+	// Phase 2: commit switch state, deliver ejected copies, move flits
+	// across links.
+	for node, r := range f.Routers {
+		moves := f.moves[node]
+		r.Commit(moves)
+		for i := range moves {
+			m := &moves[i]
+			if m.Deliver {
+				f.delivered++
+				if f.Trace != nil {
+					f.Trace.Record(trace.Event{Cycle: f.cycle, Kind: trace.Deliver,
+						Node: node, Out: -1, VC: -1,
+						PktID: m.Flit.PktID, MsgID: m.Flit.MsgID, Seq: m.Flit.Seq})
+				}
+				f.Adapters[node].Receive(m.Flit, f.cycle)
+			}
+			if m.Out == router.NoOutput {
+				continue
+			}
+			w := f.wires[node][m.Out]
+			if w.Sink {
+				continue // shared ejection port: consumed by the PE
+			}
+			g := m.Flit
+			if m.In < f.injStart[node] {
+				// Multicast bitstrings are hop-indexed: forwarding from a
+				// network input moves the stream one hop, so the hardware
+				// shifts the bitstring (bit 0 always means "the node this
+				// flit is arriving at").
+				g.Bits >>= 1
+			}
+			f.forwarded++
+			if f.Trace != nil {
+				f.Trace.Record(trace.Event{Cycle: f.cycle, Kind: trace.Forward,
+					Node: node, Out: m.Out, VC: m.OutVC,
+					PktID: g.PktID, MsgID: g.MsgID, Seq: g.Seq})
+			}
+			if !f.Routers[w.Dst.Node].Push(w.Dst.Port, m.OutVC, g) {
+				panic(fmt.Sprintf("network: credit violation pushing into %d.%d vc %d",
+					w.Dst.Node, w.Dst.Port, m.OutVC))
+			}
+		}
+	}
+	// Phase 3: adapters refill injection lanes.
+	for _, a := range f.Adapters {
+		a.Feed(f.cycle)
+	}
+	f.cycle++
+}
+
+// Run advances the fabric by the given number of cycles.
+func (f *Fabric) Run(cycles int64) {
+	for i := int64(0); i < cycles; i++ {
+		f.Step()
+	}
+}

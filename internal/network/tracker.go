@@ -1,0 +1,111 @@
+package network
+
+import "fmt"
+
+// MessageClass is the statistics class of a message.
+type MessageClass int
+
+const (
+	ClassUnicast MessageClass = iota
+	ClassMulticast
+	ClassBroadcast
+)
+
+func (c MessageClass) String() string {
+	switch c {
+	case ClassUnicast:
+		return "unicast"
+	case ClassMulticast:
+		return "multicast"
+	case ClassBroadcast:
+		return "broadcast"
+	}
+	return fmt.Sprintf("MessageClass(%d)", int(c))
+}
+
+// MessageRecord is the completed lifecycle of one message.
+type MessageRecord struct {
+	MsgID     uint64
+	Class     MessageClass
+	Src       int
+	Gen       int64 // generation cycle
+	First     int64 // first delivery (tail at some destination)
+	Last      int64 // final delivery: completion for collectives
+	Expected  int   // destinations
+	Delivered int
+	DeliSum   int64 // sum of delivery cycles (for mean-per-delivery stats)
+}
+
+// Tracker follows in-flight messages: adapters register a message when its
+// packets are enqueued and report each destination's tail arrival; the
+// tracker finalises the record when all destinations have been served.
+type Tracker struct {
+	inflight map[uint64]*trackState
+	OnDone   func(MessageRecord)
+
+	completed  uint64
+	duplicates uint64
+}
+
+type trackState struct {
+	rec  MessageRecord
+	mask uint64 // delivered-node bitmask (N <= 64)
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{inflight: make(map[uint64]*trackState)}
+}
+
+// Register announces a message entering the network.
+func (t *Tracker) Register(msgID uint64, class MessageClass, src int, gen int64, expected int) {
+	if expected <= 0 {
+		panic("network: message with no destinations")
+	}
+	if _, dup := t.inflight[msgID]; dup {
+		panic(fmt.Sprintf("network: duplicate message id %d", msgID))
+	}
+	t.inflight[msgID] = &trackState{rec: MessageRecord{
+		MsgID: msgID, Class: class, Src: src, Gen: gen, Expected: expected, First: -1,
+	}}
+}
+
+// Delivered reports the tail of msgID arriving at node. Unknown ids panic
+// (they indicate a routing bug); duplicate deliveries to the same node are
+// counted and reported via Duplicates (the Quarc broadcast must never
+// produce one).
+func (t *Tracker) Delivered(msgID uint64, node int, now int64) {
+	st, ok := t.inflight[msgID]
+	if !ok {
+		panic(fmt.Sprintf("network: delivery for unknown message %d", msgID))
+	}
+	bit := uint64(1) << uint(node%64)
+	if st.mask&bit != 0 {
+		t.duplicates++
+		return
+	}
+	st.mask |= bit
+	st.rec.Delivered++
+	st.rec.DeliSum += now
+	if st.rec.First < 0 {
+		st.rec.First = now
+	}
+	st.rec.Last = now
+	if st.rec.Delivered == st.rec.Expected {
+		t.completed++
+		delete(t.inflight, msgID)
+		if t.OnDone != nil {
+			t.OnDone(st.rec)
+		}
+	}
+}
+
+// InFlight returns the number of incomplete messages.
+func (t *Tracker) InFlight() int { return len(t.inflight) }
+
+// Completed returns the number of finished messages.
+func (t *Tracker) Completed() uint64 { return t.completed }
+
+// Duplicates returns how many redundant deliveries were observed. A correct
+// Quarc/Spidergon configuration produces zero.
+func (t *Tracker) Duplicates() uint64 { return t.duplicates }

@@ -1,0 +1,159 @@
+// Package plot renders simple ASCII line charts and tables for the CLI
+// tools and examples: latency-versus-load curves in the style of the
+// paper's Figs 9-11, and bar charts for the cost comparison of Fig 12.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Curve is one plotted series.
+type Curve struct {
+	Name   string
+	X, Y   []float64
+	Marker byte
+}
+
+// Chart renders curves on a width x height character grid with axis labels.
+// Non-finite Y values (saturated points) are clipped to the top row.
+func Chart(title string, curves []Curve, width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := 0.0, math.Inf(-1)
+	any := false
+	for _, c := range curves {
+		for i := range c.X {
+			if math.IsInf(c.Y[i], 0) || math.IsNaN(c.Y[i]) {
+				continue
+			}
+			any = true
+			minX = math.Min(minX, c.X[i])
+			maxX = math.Max(maxX, c.X[i])
+			maxY = math.Max(maxY, c.Y[i])
+		}
+	}
+	if !any {
+		return title + "\n(no finite data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, c := range curves {
+		mark := c.Marker
+		if mark == 0 {
+			mark = '*'
+		}
+		for i := range c.X {
+			y := c.Y[i]
+			row := 0
+			if math.IsInf(y, 1) || math.IsNaN(y) || y > maxY {
+				row = 0 // clip to top: saturated
+			} else {
+				row = int(math.Round((maxY - y) / (maxY - minY) * float64(height-1)))
+			}
+			col := int(math.Round((c.X[i] - minX) / (maxX - minX) * float64(width-1)))
+			if row >= 0 && row < height && col >= 0 && col < width {
+				grid[row][col] = mark
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for r, row := range grid {
+		label := "        "
+		if r == 0 {
+			label = fmt.Sprintf("%7.1f ", maxY)
+		} else if r == height-1 {
+			label = fmt.Sprintf("%7.1f ", minY)
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "        +%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "        %-12.4g%*.4g\n", minX, width-11, maxX)
+	for _, c := range curves {
+		mark := c.Marker
+		if mark == 0 {
+			mark = '*'
+		}
+		fmt.Fprintf(&b, "        %c = %s\n", mark, c.Name)
+	}
+	return b.String()
+}
+
+// Table renders rows with aligned columns.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, cell := range r {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Bars renders a horizontal bar chart of labelled values.
+func Bars(title string, labels []string, values []float64, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	max := 0.0
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	lw := 0
+	for _, l := range labels {
+		if len(l) > lw {
+			lw = len(l)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for i, v := range values {
+		n := int(math.Round(v / max * float64(width)))
+		fmt.Fprintf(&b, "%-*s |%s %.0f\n", lw, labels[i], strings.Repeat("#", n), v)
+	}
+	return b.String()
+}

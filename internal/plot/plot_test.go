@@ -1,0 +1,95 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestChartContainsMarkersAndLegend(t *testing.T) {
+	out := Chart("latency", []Curve{
+		{Name: "quarc", X: []float64{0.01, 0.02, 0.03}, Y: []float64{20, 25, 40}, Marker: 'q'},
+		{Name: "spidergon", X: []float64{0.01, 0.02, 0.03}, Y: []float64{30, 60, 120}, Marker: 's'},
+	}, 40, 10)
+	if !strings.Contains(out, "latency") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "q = quarc") || !strings.Contains(out, "s = spidergon") {
+		t.Fatal("legend missing")
+	}
+	if !strings.ContainsRune(out, 'q') || !strings.ContainsRune(out, 's') {
+		t.Fatal("markers missing")
+	}
+}
+
+func TestChartClipsInfinity(t *testing.T) {
+	out := Chart("sat", []Curve{
+		{Name: "c", X: []float64{1, 2}, Y: []float64{10, math.Inf(1)}},
+	}, 30, 8)
+	if !strings.Contains(out, "* = c") {
+		t.Fatal("legend missing")
+	}
+	// Must not panic and must still render the finite point.
+	if !strings.ContainsRune(out, '*') {
+		t.Fatal("no marker rendered")
+	}
+}
+
+func TestChartAllInfinite(t *testing.T) {
+	out := Chart("empty", []Curve{
+		{Name: "c", X: []float64{1}, Y: []float64{math.Inf(1)}},
+	}, 30, 8)
+	if !strings.Contains(out, "no finite data") {
+		t.Fatalf("expected empty-data notice, got %q", out)
+	}
+}
+
+func TestChartMinimumDimensions(t *testing.T) {
+	out := Chart("t", []Curve{{Name: "c", X: []float64{0, 1}, Y: []float64{1, 2}}}, 1, 1)
+	if len(out) == 0 {
+		t.Fatal("degenerate dimensions broke the chart")
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"module", "slices"}, [][]string{
+		{"Input Buffers", "735"},
+		{"OPC", "431"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines", len(lines))
+	}
+	if len(lines[0]) != len(lines[1]) {
+		t.Fatal("separator length mismatch")
+	}
+	if !strings.HasPrefix(lines[2], "Input Buffers") {
+		t.Fatalf("row mangled: %q", lines[2])
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars("cost", []string{"quarc", "spidergon"}, []float64{1453, 1700}, 40)
+	if !strings.Contains(out, "1453") || !strings.Contains(out, "1700") {
+		t.Fatal("values missing")
+	}
+	qline, sline := "", ""
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "quarc") {
+			qline = l
+		}
+		if strings.HasPrefix(l, "spidergon") {
+			sline = l
+		}
+	}
+	if strings.Count(qline, "#") >= strings.Count(sline, "#") {
+		t.Fatal("bar lengths do not reflect values")
+	}
+}
+
+func TestBarsZeroValues(t *testing.T) {
+	out := Bars("z", []string{"a"}, []float64{0}, 10)
+	if !strings.Contains(out, "a") {
+		t.Fatal("label missing")
+	}
+}

@@ -1,0 +1,448 @@
+// Package router implements a cycle-level wormhole switch parameterised by
+// topology-specific wiring and routing, mirroring the module decomposition of
+// the paper's switch (Fig 4):
+//
+//   - Input Port Controller (IPC): two virtual-channel lanes of parametrised
+//     flit buffers per input port, with a write controller that demultiplexes
+//     incoming flits into lanes (§2.3.1). Injection ports from the network
+//     adapter are modelled as additional input ports with a single lane.
+//   - VC arbiter: per input port, selects which lane presents a flit to the
+//     crossbar each cycle. The paper's timer FSM gives blocked lanes "equal
+//     opportunity"; at cycle granularity this is a switch-on-block policy
+//     (the arbiter moves to the other lane when the chosen one fails to
+//     advance), which is deterministic and fair.
+//   - Flow Control Unit (FCU): per lane, remembers the output binding from
+//     header until tail (the switching-information table of §2.3.2).
+//   - Output Port Controller (OPC): per output port, a master FSM that
+//     round-robins over the (at most three, for Quarc) requesting IPCs, and a
+//     slave FSM that allocates a downstream virtual channel per packet and
+//     holds it until the tail passes (the VC allocation table of §2.3.3).
+//     There are no output buffers, exactly as in the paper.
+//
+// The switch is driven by a two-phase network step: Bid/Grant compute moves
+// against a start-of-cycle occupancy snapshot, then Commit applies them, so
+// the global simulation is order-independent and a flit advances at most one
+// hop per cycle.
+package router
+
+import (
+	"fmt"
+
+	"quarc/internal/buffer"
+	"quarc/internal/flit"
+)
+
+// Decision is the routing verdict for a header flit at an input port.
+type Decision struct {
+	Out   int  // output port to forward to; NoOutput for pure local delivery
+	Eject bool // deliver to the local PE
+	Clone bool // deliver AND forward simultaneously (Quarc absorb-and-forward)
+}
+
+// NoOutput marks a decision with no forwarding component.
+const NoOutput = -1
+
+// RouteFunc computes the decision for a header flit f arriving at input
+// port in of the given node. It must be a pure function (deterministic
+// routing, §2.5.1).
+type RouteFunc func(node, in int, f flit.Flit) Decision
+
+// VCFunc returns the virtual channel to request on output port out for a
+// packet arriving on input port in with current virtual channel cur (0 at
+// injection). This implements the dateline discipline of internal/topology;
+// the torus model additionally resets the VC when a packet changes
+// dimension.
+type VCFunc func(node, out, in, cur int, f flit.Flit) int
+
+// Config describes a switch instance.
+type Config struct {
+	Node      int
+	VCs       int   // lanes per network input port (the paper's switch has 2)
+	Depth     int   // flits per lane buffer
+	InLanes   []int // lanes per input port; len(InLanes) = number of inputs
+	NOut      int   // number of output ports
+	EjectPort int   // output port index acting as the shared ejection port, or NoOutput for dedicated per-input ejection (Quarc)
+	Route     RouteFunc
+	VCNext    VCFunc
+	// Reach[o] lists the input ports wired to output o in the minimal
+	// crossbar. nil means fully connected. Used to catch routing bugs and to
+	// drive the cost model.
+	Reach [][]int
+}
+
+type lane struct {
+	q      *buffer.FIFO
+	active bool // between header grant and tail departure
+	dec    Decision
+	outVC  int
+}
+
+type inputPort struct {
+	lanes []lane
+	rr    int // VC arbiter pointer
+	snap  []int
+}
+
+const noOwner = -1
+
+type outputPort struct {
+	owner []int // per downstream VC: packed (in*16+lane) of the holder, or noOwner
+	rr    int   // OPC master FSM round-robin pointer over inputs
+	reach []int // allowed input ports (nil = all)
+	sent  uint64
+}
+
+// Move is a committed flit transfer, reported to the network for delivery
+// and link accounting.
+type Move struct {
+	In, Lane int
+	Out      int // NoOutput for pure ejection
+	OutVC    int
+	Deliver  bool // a copy reaches the local PE
+	Flit     flit.Flit
+}
+
+// Router is one switch instance.
+type Router struct {
+	cfg   Config
+	in    []inputPort
+	out   []outputPort
+	bids  []bid // reused each cycle
+	stats Stats
+}
+
+type bid struct {
+	in, lane int
+	dec      Decision
+	head     flit.Flit
+	valid    bool
+}
+
+// New constructs a switch from its configuration.
+func New(cfg Config) *Router {
+	if cfg.VCs < 1 || cfg.VCs > 8 {
+		panic(fmt.Sprintf("router: unsupported VC count %d", cfg.VCs))
+	}
+	if cfg.Depth < 1 {
+		panic("router: non-positive buffer depth")
+	}
+	if len(cfg.InLanes) == 0 || cfg.NOut < 1 {
+		panic("router: switch needs inputs and outputs")
+	}
+	r := &Router{cfg: cfg}
+	r.in = make([]inputPort, len(cfg.InLanes))
+	for i, nl := range cfg.InLanes {
+		if nl < 1 {
+			panic("router: input port with no lanes")
+		}
+		p := &r.in[i]
+		p.lanes = make([]lane, nl)
+		p.snap = make([]int, nl)
+		for l := range p.lanes {
+			p.lanes[l].q = buffer.New(cfg.Depth)
+			p.lanes[l].outVC = -1
+		}
+	}
+	r.out = make([]outputPort, cfg.NOut)
+	for o := range r.out {
+		r.out[o].owner = make([]int, cfg.VCs)
+		for v := range r.out[o].owner {
+			r.out[o].owner[v] = noOwner
+		}
+		if cfg.Reach != nil {
+			r.out[o].reach = cfg.Reach[o]
+		}
+	}
+	r.bids = make([]bid, len(cfg.InLanes))
+	return r
+}
+
+// Node returns the node identifier.
+func (r *Router) Node() int { return r.cfg.Node }
+
+// NumInputs returns the number of input ports (network + injection).
+func (r *Router) NumInputs() int { return len(r.in) }
+
+// LaneFree returns the free space of the given input lane; the network uses
+// it as the upstream credit count.
+func (r *Router) LaneFree(in, ln int) int { return r.in[in].lanes[ln].q.Free() }
+
+// LaneLen returns the occupancy of the given input lane.
+func (r *Router) LaneLen(in, ln int) int { return r.in[in].lanes[ln].q.Len() }
+
+// Push inserts a flit into an input lane (used by the upstream link and by
+// the network adapter for injection ports). It reports false when the lane
+// is full; callers must respect the credit/handshake and treat false as a
+// protocol violation.
+func (r *Router) Push(in, ln int, f flit.Flit) bool {
+	return r.in[in].lanes[ln].q.Push(f)
+}
+
+// Sent returns the number of flits the given output port has transmitted
+// (link-load accounting for the edge-symmetry analysis).
+func (r *Router) Sent(out int) uint64 { return r.out[out].sent }
+
+// Snapshot latches per-lane occupancy at the start of the cycle. Grant
+// decisions observe only the snapshot, giving registered (one-cycle lagged)
+// credit semantics.
+func (r *Router) Snapshot() {
+	for i := range r.in {
+		p := &r.in[i]
+		for l := range p.lanes {
+			p.snap[l] = p.lanes[l].q.Free()
+		}
+	}
+	r.recordOccupancy()
+}
+
+// SnapFree returns the snapshotted free space of an input lane, used by the
+// upstream router's OPC as its credit view.
+func (r *Router) SnapFree(in, ln int) int { return r.in[in].snap[ln] }
+
+func (r *Router) reachable(o, in int) bool {
+	reach := r.out[o].reach
+	if reach == nil {
+		return true
+	}
+	for _, x := range reach {
+		if x == in {
+			return true
+		}
+	}
+	return false
+}
+
+// bidFor runs the VC arbiter of one input port: select the lane presented to
+// the crossbar this cycle.
+func (r *Router) bidFor(i int) bid {
+	p := &r.in[i]
+	n := len(p.lanes)
+	for k := 0; k < n; k++ {
+		l := (p.rr + k) % n
+		ln := &p.lanes[l]
+		head, ok := ln.q.Peek()
+		if !ok {
+			continue
+		}
+		dec := ln.dec
+		if !ln.active {
+			if head.Kind != flit.Header {
+				panic(fmt.Sprintf("router %d in %d lane %d: %v flit with no active packet",
+					r.cfg.Node, i, l, head.Kind))
+			}
+			dec = r.cfg.Route(r.cfg.Node, i, head)
+			if dec.Out == NoOutput && !dec.Eject {
+				panic(fmt.Sprintf("router %d in %d: decision with no action for %+v",
+					r.cfg.Node, i, head))
+			}
+			if dec.Out == NoOutput && r.cfg.EjectPort != NoOutput {
+				panic(fmt.Sprintf("router %d in %d: pure-local decision on a shared-eject switch",
+					r.cfg.Node, i))
+			}
+			if dec.Out != NoOutput && !r.reachable(dec.Out, i) {
+				panic(fmt.Sprintf("router %d: route sends input %d to unreachable output %d",
+					r.cfg.Node, i, dec.Out))
+			}
+		}
+		return bid{in: i, lane: l, dec: dec, head: head, valid: true}
+	}
+	return bid{}
+}
+
+// Downstream abstracts the credit view of whatever an output port feeds; the
+// network wires each output to the downstream router's input port (or to a
+// local sink with infinite acceptance for shared ejection ports).
+type Downstream interface {
+	// CreditFree returns the snapshotted free space of downstream lane vc.
+	CreditFree(vc int) int
+}
+
+// Arbitrate computes this router's moves for the cycle. downstream maps each
+// output port to its credit view; nil entries mean "always has space" (used
+// for the shared ejection port, where the PE absorbs at link rate). The
+// returned moves reference flits still in their source lanes; the network
+// must call Commit exactly once with the same slice.
+func (r *Router) Arbitrate(downstream []Downstream, moves []Move) []Move {
+	// VC arbitration: one candidate lane per input port.
+	for i := range r.in {
+		r.bids[i] = r.bidFor(i)
+	}
+
+	granted := make([]bool, len(r.in)) // per input: action taken this cycle
+
+	// Dedicated ejection (Quarc all-port absorb): decisions with no
+	// forwarding component need no OPC and always succeed.
+	if r.cfg.EjectPort == NoOutput {
+		for i := range r.bids {
+			b := &r.bids[i]
+			if b.valid && b.dec.Out == NoOutput && b.dec.Eject {
+				moves = append(moves, Move{In: b.in, Lane: b.lane, Out: NoOutput,
+					Deliver: true, Flit: b.head})
+				granted[b.in] = true
+				r.stats.Grants++
+			}
+		}
+	}
+
+	// OPC arbitration per output port.
+	for o := range r.out {
+		op := &r.out[o]
+		nIn := len(r.in)
+		for k := 0; k < nIn; k++ {
+			i := (op.rr + k) % nIn
+			b := &r.bids[i]
+			if !b.valid || granted[i] || b.dec.Out != o {
+				continue
+			}
+			ok, outVC, _ := r.trySend(o, b, downstream[o])
+			if !ok {
+				continue
+			}
+			moves = append(moves, Move{In: b.in, Lane: b.lane, Out: o, OutVC: outVC,
+				Deliver: b.dec.Clone || (o == r.cfg.EjectPort && b.dec.Eject), Flit: b.head})
+			granted[i] = true
+			r.stats.Grants++
+			op.rr = (i + 1) % nIn // master FSM moves on after serving a request
+			break
+		}
+	}
+
+	// VC arbiter pointers: a lane that bid and failed yields to its sibling
+	// (the paper's times_up timeout). Failed bids are classified for the
+	// contention statistics: a bid that would have been sendable lost
+	// output arbitration; otherwise trySend names the blocking resource.
+	for i := range r.bids {
+		b := &r.bids[i]
+		if !b.valid || granted[i] {
+			continue
+		}
+		if b.dec.Out != NoOutput {
+			if ok, _, cause := r.trySend(b.dec.Out, b, downstream[b.dec.Out]); ok {
+				r.stats.Stalls[StallArbLost]++
+			} else {
+				r.stats.Stalls[cause]++
+			}
+		}
+		if len(r.in[i].lanes) > 1 {
+			r.in[i].rr = (b.lane + 1) % len(r.in[i].lanes)
+		}
+	}
+	return moves
+}
+
+// trySend checks credit and VC allocation for a bid on output o. On
+// failure it reports the blocking resource.
+func (r *Router) trySend(o int, b *bid, down Downstream) (bool, int, StallCause) {
+	op := &r.out[o]
+	packed := b.in*16 + b.lane
+	ln := &r.in[b.in].lanes[b.lane]
+	if ln.active {
+		// Body or tail: use the allocated VC; need one credit.
+		vc := ln.outVC
+		if op.owner[vc] != packed {
+			panic(fmt.Sprintf("router %d out %d: lane %d.%d lost VC %d ownership",
+				r.cfg.Node, o, b.in, b.lane, vc))
+		}
+		if down != nil && down.CreditFree(vc) < 1 {
+			return false, 0, StallNoCredit
+		}
+		return true, vc, 0
+	}
+	// Header: the slave FSM allocates a downstream VC.
+	vc := 0
+	if o == r.cfg.EjectPort {
+		// The PE-side buffers have no dateline constraint: first free VC.
+		vc = -1
+		for v := range op.owner {
+			if op.owner[v] == noOwner {
+				vc = v
+				break
+			}
+		}
+		if vc < 0 {
+			return false, 0, StallVCBusy
+		}
+	} else {
+		// The lane a flit sits in is the VC it used on its incoming link
+		// (the network pushes forwarded flits into lane[outVC]); injection
+		// ports have a single lane 0, matching the VC-0 start of the
+		// dateline discipline.
+		vc = r.cfg.VCNext(r.cfg.Node, o, b.in, b.lane, b.head)
+		if vc < 0 || vc >= r.cfg.VCs {
+			panic(fmt.Sprintf("router %d: VCNext returned %d", r.cfg.Node, vc))
+		}
+		if op.owner[vc] != noOwner {
+			return false, 0, StallVCBusy
+		}
+	}
+	if down != nil && down.CreditFree(vc) < 1 {
+		return false, 0, StallNoCredit
+	}
+	return true, vc, 0
+}
+
+// Commit applies previously computed moves: pops flits from their lanes,
+// updates FCU/OPC state, and returns the flits to forward. The network is
+// responsible for pushing forwarded flits into the downstream input lanes
+// and for delivering ejected copies.
+func (r *Router) Commit(moves []Move) {
+	for mi := range moves {
+		m := &moves[mi]
+		ln := &r.in[m.In].lanes[m.Lane]
+		f, ok := ln.q.Pop()
+		if !ok || f.PktID != m.Flit.PktID || f.Seq != m.Flit.Seq {
+			panic(fmt.Sprintf("router %d: commit desync at in %d lane %d", r.cfg.Node, m.In, m.Lane))
+		}
+		// FCU bookkeeping: the lane remembers its packet's decision from
+		// header to tail, whether the packet is being forwarded or absorbed
+		// locally.
+		if f.Kind == flit.Header {
+			ln.active = true
+			ln.dec = r.cfg.Route(r.cfg.Node, m.In, f)
+			ln.outVC = m.OutVC
+		}
+		if f.Kind == flit.Tail {
+			ln.active = false
+			ln.outVC = -1
+		}
+		// OPC bookkeeping only applies to granted outputs.
+		if m.Out != NoOutput {
+			op := &r.out[m.Out]
+			op.sent++
+			packed := m.In*16 + m.Lane
+			if f.Kind == flit.Header {
+				op.owner[m.OutVC] = packed
+			}
+			if f.Kind == flit.Tail {
+				if op.owner[m.OutVC] != packed {
+					panic(fmt.Sprintf("router %d: tail releasing foreign VC", r.cfg.Node))
+				}
+				op.owner[m.OutVC] = noOwner
+			}
+		}
+	}
+}
+
+// LaneContents returns a copy of the flits buffered in the given input lane
+// (head first). ok is false when the lane index is out of range; callers can
+// iterate lanes until it turns false. Inspection hook for the invariant
+// checker.
+func (r *Router) LaneContents(in, lane int) (flits []flit.Flit, ok bool) {
+	if in < 0 || in >= len(r.in) {
+		return nil, false
+	}
+	if lane < 0 || lane >= len(r.in[in].lanes) {
+		return nil, false
+	}
+	return r.in[in].lanes[lane].q.Snapshot(), true
+}
+
+// VCOwner reports whether output o's downstream VC vc is currently held
+// (test hook for wormhole invariants).
+func (r *Router) VCOwner(o, vc int) (in, laneIdx int, held bool) {
+	w := r.out[o].owner[vc]
+	if w == noOwner {
+		return 0, 0, false
+	}
+	return w / 16, w % 16, true
+}

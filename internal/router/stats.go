@@ -1,0 +1,71 @@
+package router
+
+// Per-router microarchitectural counters. These answer the "why is it
+// slow" questions behind the paper's curves: where flits stall (no credit,
+// VC busy, lost output arbitration) and how full the input lanes run. The
+// fabric aggregates them for the contention experiments; they cost a few
+// increments per cycle and are always on.
+
+// StallCause classifies why a bid failed to move in a cycle.
+type StallCause int
+
+const (
+	StallNoCredit StallCause = iota // downstream lane full
+	StallVCBusy                     // required downstream VC held by another packet
+	StallArbLost                    // output granted to another input this cycle
+	numStallCauses
+)
+
+func (s StallCause) String() string {
+	switch s {
+	case StallNoCredit:
+		return "no-credit"
+	case StallVCBusy:
+		return "vc-busy"
+	case StallArbLost:
+		return "arb-lost"
+	}
+	return "unknown"
+}
+
+// Stats are the router's cumulative counters.
+type Stats struct {
+	Grants       uint64                 // flits moved through the crossbar or ejected
+	Stalls       [numStallCauses]uint64 // failed bids by cause
+	OccupancySum uint64                 // sum over cycles of buffered flits (integral)
+	Cycles       uint64                 // snapshots taken
+}
+
+// MeanOccupancy returns the time-averaged number of buffered flits.
+func (s Stats) MeanOccupancy() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.OccupancySum) / float64(s.Cycles)
+}
+
+// TotalStalls sums all stall causes.
+func (s Stats) TotalStalls() uint64 {
+	var t uint64
+	for _, v := range s.Stalls {
+		t += v
+	}
+	return t
+}
+
+// Stats returns a copy of the router's counters.
+func (r *Router) Stats() Stats { return r.stats }
+
+// recordOccupancy accumulates the buffer occupancy integral; called from
+// Snapshot so it runs exactly once per cycle.
+func (r *Router) recordOccupancy() {
+	occ := 0
+	for i := range r.in {
+		p := &r.in[i]
+		for l := range p.lanes {
+			occ += p.lanes[l].q.Len()
+		}
+	}
+	r.stats.OccupancySum += uint64(occ)
+	r.stats.Cycles++
+}

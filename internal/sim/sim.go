@@ -1,0 +1,152 @@
+// Package sim is a minimal discrete-event simulation kernel.
+//
+// It plays the role OMNeT++ plays in the paper: an event calendar with
+// deterministic ordering that drives the flit-level network model. Time is an
+// integer cycle count. Events scheduled for the same cycle are ordered by an
+// explicit priority and then by insertion sequence, so a simulation is a pure
+// function of its inputs and seeds.
+package sim
+
+import "container/heap"
+
+// Time is simulation time in clock cycles.
+type Time = int64
+
+// Priority orders events that fire at the same cycle. Lower runs first.
+type Priority int
+
+// Standard priorities used by the network model. Traffic arrives first so a
+// message generated at cycle t can be considered by the fabric tick of the
+// same cycle; statistics run last so they observe a settled state.
+const (
+	PriTraffic Priority = 10
+	PriFabric  Priority = 20
+	PriStats   Priority = 30
+)
+
+// Event is a scheduled callback.
+type Event struct {
+	at   Time
+	pri  Priority
+	seq  uint64
+	fn   func(now Time)
+	dead bool
+	idx  int
+}
+
+// Cancel marks the event so that it will not fire. Cancelling an already
+// fired or cancelled event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.dead = true
+	}
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].pri != h[j].pri {
+		return h[i].pri < h[j].pri
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is the event calendar. The zero value is ready to use.
+type Kernel struct {
+	heap    eventHeap
+	now     Time
+	seq     uint64
+	stopped bool
+	fired   uint64
+}
+
+// Now returns the current simulation time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Fired returns the number of events executed so far.
+func (k *Kernel) Fired() uint64 { return k.fired }
+
+// Pending returns the number of events still scheduled (including cancelled
+// ones not yet discarded).
+func (k *Kernel) Pending() int { return len(k.heap) }
+
+// Schedule registers fn to run at the given absolute time. Scheduling in the
+// past (before Now) panics: the fabric depends on causality.
+func (k *Kernel) Schedule(at Time, pri Priority, fn func(now Time)) *Event {
+	if at < k.now {
+		panic("sim: scheduling event in the past")
+	}
+	e := &Event{at: at, pri: pri, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.heap, e)
+	return e
+}
+
+// After schedules fn delay cycles from now.
+func (k *Kernel) After(delay Time, pri Priority, fn func(now Time)) *Event {
+	return k.Schedule(k.now+delay, pri, fn)
+}
+
+// Stop halts Run before the next event fires.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run executes events in order until the calendar is empty, an event at a
+// time strictly greater than until would fire, or Stop is called. It returns
+// the final simulation time.
+func (k *Kernel) Run(until Time) Time {
+	k.stopped = false
+	for len(k.heap) > 0 && !k.stopped {
+		e := k.heap[0]
+		if e.at > until {
+			break
+		}
+		heap.Pop(&k.heap)
+		if e.dead {
+			continue
+		}
+		k.now = e.at
+		k.fired++
+		e.fn(e.at)
+	}
+	if k.now < until && !k.stopped {
+		k.now = until
+	}
+	return k.now
+}
+
+// Ticker repeatedly schedules fn every period cycles at the given priority,
+// starting at start. fn returning false stops the ticker.
+func (k *Kernel) Ticker(start Time, period Time, pri Priority, fn func(now Time) bool) {
+	if period <= 0 {
+		panic("sim: non-positive ticker period")
+	}
+	var tick func(now Time)
+	tick = func(now Time) {
+		if fn(now) {
+			k.Schedule(now+period, pri, tick)
+		}
+	}
+	k.Schedule(start, pri, tick)
+}

@@ -1,0 +1,231 @@
+package topology
+
+import "fmt"
+
+// Virtual-channel discipline. Both rim rings are cycles in the channel
+// dependency graph, so wormhole routing needs two virtual channels with a
+// dateline (paper §2.1: "Each physical link is shared by two virtual
+// channels in order to avoid deadlock"; §2.3.1: two lanes per input port).
+// Packets travel on VC 0 until they traverse the dateline link of their rim
+// ring (CW: the link n-1 -> 0; CCW: the link 0 -> n-1), from which point
+// they use VC 1. Cross links carry packets only on their first hop, so they
+// cannot close a cycle and always use VC 0.
+
+// RimVC returns the virtual channel a packet uses on the rim link leaving
+// node from in direction dir, given the VC it used on its previous hop (use
+// 0 when entering the rim).
+func RimVC(n int, dir Direction, from, cur int) int {
+	if cur == 1 {
+		return 1
+	}
+	if dir == CW && from == n-1 {
+		return 1
+	}
+	if dir == CCW && from == 0 {
+		return 1
+	}
+	return 0
+}
+
+// ChannelKind distinguishes the physical link classes of the ring
+// topologies.
+type ChannelKind int
+
+const (
+	ChRimCW ChannelKind = iota
+	ChRimCCW
+	ChCrossCW  // Quarc: the cross channel whose packets continue clockwise
+	ChCrossCCW // Quarc: the cross channel whose packets continue counter-clockwise
+	ChCross    // Spidergon: the single shared cross channel
+)
+
+// Channel is a (physical link, virtual channel) pair: a vertex of the
+// channel dependency graph. From is the node the link leaves.
+type Channel struct {
+	Kind ChannelKind
+	From int
+	VC   int
+}
+
+// CDG is a channel dependency graph: an edge u->v means a packet can hold u
+// while requesting v.
+type CDG struct {
+	edges map[Channel]map[Channel]bool
+}
+
+// NewCDG returns an empty graph.
+func NewCDG() *CDG { return &CDG{edges: make(map[Channel]map[Channel]bool)} }
+
+// AddPath records the dependencies of a route expressed as a channel
+// sequence.
+func (g *CDG) AddPath(chs []Channel) {
+	for i := 0; i+1 < len(chs); i++ {
+		u, v := chs[i], chs[i+1]
+		if g.edges[u] == nil {
+			g.edges[u] = make(map[Channel]bool)
+		}
+		g.edges[u][v] = true
+		if g.edges[v] == nil {
+			g.edges[v] = make(map[Channel]bool)
+		}
+	}
+}
+
+// Acyclic reports whether the graph has no directed cycle (Kahn's
+// algorithm). An acyclic CDG is sufficient for deadlock freedom of
+// deterministic wormhole routing (Dally & Seitz).
+func (g *CDG) Acyclic() (bool, []Channel) {
+	indeg := make(map[Channel]int, len(g.edges))
+	for u := range g.edges {
+		indeg[u] += 0
+		for v := range g.edges[u] {
+			indeg[v]++
+		}
+	}
+	var queue []Channel
+	for u, d := range indeg {
+		if d == 0 {
+			queue = append(queue, u)
+		}
+	}
+	removed := 0
+	for len(queue) > 0 {
+		u := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		removed++
+		for v := range g.edges[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	if removed == len(indeg) {
+		return true, nil
+	}
+	var stuck []Channel
+	for u, d := range indeg {
+		if d > 0 {
+			stuck = append(stuck, u)
+		}
+	}
+	return false, stuck
+}
+
+// QuarcRouteChannels returns the channel sequence of the deterministic Quarc
+// route from src to dst (excluding injection/ejection, which cannot
+// participate in cycles).
+func QuarcRouteChannels(n, src, dst int) []Channel {
+	if src == dst {
+		return nil
+	}
+	var chs []Channel
+	q := QuadrantOf(n, src, dst)
+	cur := src
+	vc := 0
+	dir := CW
+	switch q {
+	case QCrossCW:
+		chs = append(chs, Channel{ChCrossCW, src, 0})
+		cur = Antipode(n, src)
+	case QCrossCCW:
+		chs = append(chs, Channel{ChCrossCCW, src, 0})
+		cur = Antipode(n, src)
+		dir = CCW
+	case QLeft:
+		dir = CCW
+	}
+	kind := ChRimCW
+	if dir == CCW {
+		kind = ChRimCCW
+	}
+	for cur != dst {
+		vc = RimVC(n, dir, cur, vc)
+		chs = append(chs, Channel{kind, cur, vc})
+		if dir == CW {
+			cur = NextCW(n, cur)
+		} else {
+			cur = NextCCW(n, cur)
+		}
+		if len(chs) > n+2 {
+			panic(fmt.Sprintf("topology: quarc route %d->%d did not terminate", src, dst))
+		}
+	}
+	return chs
+}
+
+// SpidergonRouteChannels returns the channel sequence of the across-first
+// route from src to dst.
+func SpidergonRouteChannels(n, src, dst int) []Channel {
+	if src == dst {
+		return nil
+	}
+	var chs []Channel
+	cur := src
+	first := SpidergonRoute(n, src, dst)
+	dir := CW
+	switch first {
+	case SpiCross:
+		chs = append(chs, Channel{ChCross, src, 0})
+		cur = Antipode(n, src)
+		if cur == dst {
+			return chs
+		}
+		if Offset(n, cur, dst) > n/2 {
+			dir = CCW
+		}
+	case SpiCCW:
+		dir = CCW
+	}
+	kind := ChRimCW
+	if dir == CCW {
+		kind = ChRimCCW
+	}
+	vc := 0
+	for cur != dst {
+		vc = RimVC(n, dir, cur, vc)
+		chs = append(chs, Channel{kind, cur, vc})
+		if dir == CW {
+			cur = NextCW(n, cur)
+		} else {
+			cur = NextCCW(n, cur)
+		}
+		if len(chs) > n+2 {
+			panic(fmt.Sprintf("topology: spidergon route %d->%d did not terminate", src, dst))
+		}
+	}
+	return chs
+}
+
+// QuarcCDG builds the full channel dependency graph over all unicast routes
+// and all broadcast branch streams of an n-node Quarc.
+func QuarcCDG(n int) *CDG {
+	g := NewCDG()
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s != d {
+				g.AddPath(QuarcRouteChannels(n, s, d))
+			}
+		}
+		// Broadcast branches follow base-routing conformed paths, so they
+		// add the same channel sequences as the unicast to each branch's
+		// last node; add them anyway (BRCP property is itself under test).
+		for _, b := range QuarcBroadcastBranches(n, s) {
+			g.AddPath(QuarcRouteChannels(n, s, b.Last))
+		}
+	}
+	return g
+}
+
+// SpidergonCDG builds the dependency graph over all across-first routes.
+func SpidergonCDG(n int) *CDG {
+	g := NewCDG()
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s != d {
+				g.AddPath(SpidergonRouteChannels(n, s, d))
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,160 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMeshValidation(t *testing.T) {
+	if _, err := NewMesh(1, 4, false); err == nil {
+		t.Error("accepted 1-wide mesh")
+	}
+	if _, err := NewMesh(4, 1, false); err == nil {
+		t.Error("accepted 1-high mesh")
+	}
+	if _, err := NewMesh(64, 64, false); err == nil {
+		t.Error("accepted oversized mesh")
+	}
+	if _, err := NewMesh(4, 4, true); err != nil {
+		t.Errorf("rejected 4x4 torus: %v", err)
+	}
+}
+
+func TestMeshCoordinates(t *testing.T) {
+	m, _ := NewMesh(4, 3, false)
+	if m.N() != 12 {
+		t.Fatalf("N = %d", m.N())
+	}
+	for id := 0; id < m.N(); id++ {
+		x, y := m.XY(id)
+		if m.ID(x, y) != id {
+			t.Fatalf("XY/ID mismatch at %d", id)
+		}
+	}
+	if x, y := m.XY(7); x != 3 || y != 1 {
+		t.Fatalf("XY(7) = (%d,%d)", x, y)
+	}
+}
+
+func TestMeshHopsAreManhattan(t *testing.T) {
+	m, _ := NewMesh(5, 4, false)
+	for s := 0; s < m.N(); s++ {
+		for d := 0; d < m.N(); d++ {
+			sx, sy := m.XY(s)
+			dx, dy := m.XY(d)
+			want := abs(sx-dx) + abs(sy-dy)
+			if got := m.Hops(s, d); got != want {
+				t.Fatalf("Hops(%d,%d) = %d, want manhattan %d", s, d, got, want)
+			}
+		}
+	}
+}
+
+func TestMeshXYOrder(t *testing.T) {
+	// XY routing resolves the X dimension completely before Y.
+	m, _ := NewMesh(4, 4, false)
+	src, dst := m.ID(0, 0), m.ID(3, 3)
+	cur := src
+	sawY := false
+	for cur != dst {
+		dir, next := m.Step(cur, dst)
+		switch dir {
+		case MEast, MWest:
+			if sawY {
+				t.Fatal("X move after Y move: not XY routing")
+			}
+		case MNorth, MSouth:
+			sawY = true
+		}
+		cur = next
+	}
+}
+
+func TestTorusTakesShorterWay(t *testing.T) {
+	m, _ := NewMesh(8, 8, true)
+	// From (0,0) to (7,0): one west hop on a torus.
+	if got := m.Hops(m.ID(0, 0), m.ID(7, 0)); got != 1 {
+		t.Fatalf("torus wrap hops = %d, want 1", got)
+	}
+	// From (0,0) to (4,0): tie, should still be 4.
+	if got := m.Hops(m.ID(0, 0), m.ID(4, 0)); got != 4 {
+		t.Fatalf("torus half-way hops = %d, want 4", got)
+	}
+}
+
+func TestMeshDiameter(t *testing.T) {
+	m, _ := NewMesh(4, 4, false)
+	if d := m.Diameter(); d != 6 {
+		t.Fatalf("4x4 mesh diameter = %d, want 6", d)
+	}
+	tor, _ := NewMesh(4, 4, true)
+	if d := tor.Diameter(); d != 4 {
+		t.Fatalf("4x4 torus diameter = %d, want 4", d)
+	}
+}
+
+func TestMeshVsQuarcDiameterClaim(t *testing.T) {
+	// Paper §2.6 motivates capping the Quarc at 64 nodes because its n/4
+	// diameter eventually exceeds the mesh's 2(sqrt(n)-1). Check the small
+	// sizes where the ring still wins or ties, and that the crossover has
+	// happened by n = 64 (16 vs 14), which is why larger Quarcs are not
+	// worthwhile.
+	for _, n := range []int{16, 36} {
+		side := 1
+		for side*side < n {
+			side++
+		}
+		m, _ := NewMesh(side, side, false)
+		if QuarcDiameter(n) > m.Diameter() {
+			t.Errorf("n=%d: quarc diameter %d > mesh diameter %d",
+				n, QuarcDiameter(n), m.Diameter())
+		}
+	}
+	m8, _ := NewMesh(8, 8, false)
+	if QuarcDiameter(64) <= m8.Diameter() {
+		t.Errorf("n=64: expected the mesh to have caught up (quarc %d vs mesh %d)",
+			QuarcDiameter(64), m8.Diameter())
+	}
+}
+
+func TestMeshStepTerminatesProperty(t *testing.T) {
+	check := func(w, h uint8, s, d uint16, torus bool) bool {
+		mw, mh := int(w%6)+2, int(h%6)+2
+		m, err := NewMesh(mw, mh, torus)
+		if err != nil {
+			return false
+		}
+		src := int(s) % m.N()
+		dst := int(d) % m.N()
+		cur := src
+		for steps := 0; cur != dst; steps++ {
+			if steps > m.N() {
+				return false
+			}
+			_, cur = m.Step(cur, dst)
+		}
+		dir, next := m.Step(dst, dst)
+		return dir == MLocal && next == dst
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeshAvgHops(t *testing.T) {
+	// Known closed form for a k x k mesh under XY: 2/3 * (k - 1/k) ... use
+	// the 2x2 case where the exact average is easy: pairs at distance 1 (8)
+	// and 2 (4): 16/12.
+	m, _ := NewMesh(2, 2, false)
+	want := 16.0 / 12.0
+	if got := m.AvgHops(); got < want-1e-12 || got > want+1e-12 {
+		t.Fatalf("2x2 AvgHops = %v, want %v", got, want)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

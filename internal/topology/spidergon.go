@@ -1,0 +1,150 @@
+package topology
+
+import "fmt"
+
+// SpidergonFirst identifies the first hop chosen by the Spidergon's
+// deterministic "across-first" routing (paper §2.1, ref [5]): either a rim
+// direction, or the single shared cross link followed by rim hops.
+type SpidergonFirst int
+
+const (
+	SpiCW SpidergonFirst = iota
+	SpiCCW
+	SpiCross
+)
+
+func (s SpidergonFirst) String() string {
+	switch s {
+	case SpiCW:
+		return "cw"
+	case SpiCCW:
+		return "ccw"
+	case SpiCross:
+		return "cross"
+	}
+	return fmt.Sprintf("SpidergonFirst(%d)", int(s))
+}
+
+// SpidergonRoute returns the first-hop decision for dst relative to src.
+// With o = (dst-src) mod n: o <= n/4 goes clockwise, o >= 3n/4 goes
+// counter-clockwise, anything else takes the cross link first and finishes
+// on the rim at the antipode.
+func SpidergonRoute(n, src, dst int) SpidergonFirst {
+	o := Offset(n, src, dst)
+	if o == 0 {
+		panic(fmt.Sprintf("topology: SpidergonRoute with src == dst == %d", src))
+	}
+	switch {
+	case o <= n/4:
+		return SpiCW
+	case o >= 3*n/4:
+		return SpiCCW
+	default:
+		return SpiCross
+	}
+}
+
+// SpidergonHops returns the across-first path length from src to dst.
+func SpidergonHops(n, src, dst int) int {
+	if src == dst {
+		return 0
+	}
+	o := Offset(n, src, dst)
+	switch SpidergonRoute(n, src, dst) {
+	case SpiCW:
+		return o
+	case SpiCCW:
+		return n - o
+	default:
+		// Cross to the antipode, then the shorter rim arc.
+		rem := o - n/2
+		if rem < 0 {
+			rem = -rem
+		}
+		return 1 + rem
+	}
+}
+
+// SpidergonPath returns the node sequence from src to dst inclusive.
+func SpidergonPath(n, src, dst int) []int {
+	path := []int{src}
+	if src == dst {
+		return path
+	}
+	cur := src
+	first := SpidergonRoute(n, src, dst)
+	if first == SpiCross {
+		cur = Antipode(n, cur)
+		path = append(path, cur)
+		if cur == dst {
+			return path
+		}
+	}
+	// Remaining rim direction: shorter arc from cur to dst.
+	dir := CW
+	if o := Offset(n, cur, dst); o > n/2 || first == SpiCCW {
+		dir = CCW
+	}
+	for cur != dst {
+		if dir == CW {
+			cur = NextCW(n, cur)
+		} else {
+			cur = NextCCW(n, cur)
+		}
+		path = append(path, cur)
+		if len(path) > n+1 {
+			panic("topology: SpidergonPath did not terminate")
+		}
+	}
+	return path
+}
+
+// SpidergonDiameter returns the across-first routed diameter: the worst
+// destination needs the cross link plus n/4 - 1 rim hops... computed exactly
+// by enumeration to avoid off-by-one disputes.
+func SpidergonDiameter(n int) int {
+	max := 0
+	for o := 1; o < n; o++ {
+		if h := SpidergonHops(n, 0, o); h > max {
+			max = h
+		}
+	}
+	return max
+}
+
+// SpidergonAvgHops returns the exact mean across-first hop count over all
+// ordered pairs.
+func SpidergonAvgHops(n int) float64 {
+	sum := 0
+	for o := 1; o < n; o++ {
+		sum += SpidergonHops(n, 0, o)
+	}
+	return float64(sum) / float64(n-1)
+}
+
+// SpidergonChain describes one of the two broadcast-by-unicast chains
+// (paper §2.1/§2.2: deadlock-free broadcast in the Spidergon is achieved by
+// consecutive unicast transmissions along the rim, N-1 hop traversals in
+// total). Nodes lists the receivers in chain order.
+type SpidergonChain struct {
+	Dir   Direction
+	Nodes []int
+}
+
+// SpidergonBroadcastChains splits the n-1 receivers into a clockwise chain
+// of ceil((n-1)/2) nodes and a counter-clockwise chain with the rest.
+func SpidergonBroadcastChains(n, src int) []SpidergonChain {
+	cwLen := (n - 1 + 1) / 2 // ceil((n-1)/2)
+	var cw, ccw []int
+	for i := 1; i <= cwLen; i++ {
+		cw = append(cw, Mod(src+i, n))
+	}
+	for i := 1; i <= n-1-cwLen; i++ {
+		ccw = append(ccw, Mod(src-i, n))
+	}
+	chains := []SpidergonChain{{Dir: CW, Nodes: cw}}
+	if len(ccw) > 0 {
+		chains = append(chains, SpidergonChain{Dir: CCW, Nodes: ccw})
+	}
+	return chains
+}

@@ -1,0 +1,138 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"quarc/internal/sim"
+)
+
+func runBursty(t *testing.T, cfg BurstyConfig, cycles int64) ([]*recorder, []*BurstySource) {
+	t.Helper()
+	var k sim.Kernel
+	recs := make([]*recorder, cfg.N)
+	senders := make([]Sender, cfg.N)
+	for i := range recs {
+		recs[i] = &recorder{}
+		senders[i] = recs[i]
+	}
+	sources, err := InstallBursty(&k, cfg, senders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run(cycles)
+	return recs, sources
+}
+
+func TestBurstyValidate(t *testing.T) {
+	bad := []BurstyConfig{
+		{N: 1, OnRate: 0.5, MeanOn: 10, MeanOff: 10, MsgLen: 4},
+		{N: 8, OnRate: 0, MeanOn: 10, MeanOff: 10, MsgLen: 4},
+		{N: 8, OnRate: 0.5, MeanOn: 0.5, MeanOff: 10, MsgLen: 4},
+		{N: 8, OnRate: 0.5, MeanOn: 10, MeanOff: 10, MsgLen: 1},
+		{N: 8, OnRate: 0.5, MeanOn: 10, MeanOff: 10, MsgLen: 4, Beta: 2},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("case %d validated", i)
+		}
+	}
+}
+
+func TestBurstyMeanRate(t *testing.T) {
+	cfg := BurstyConfig{N: 4, OnRate: 0.4, MeanOn: 20, MeanOff: 60, MsgLen: 4, Seed: 9}
+	want := cfg.MeanRate() // 0.4 * 20/80 = 0.1
+	if math.Abs(want-0.1) > 1e-12 {
+		t.Fatalf("MeanRate = %v, want 0.1", want)
+	}
+	const cycles = 200000
+	_, sources := runBursty(t, cfg, cycles)
+	var total int64
+	for _, s := range sources {
+		total += s.Sent()
+	}
+	got := float64(total) / float64(cfg.N) / cycles
+	if math.Abs(got-want) > 0.015 {
+		t.Errorf("empirical rate %v, want about %v", got, want)
+	}
+}
+
+func TestBurstyIsActuallyBursty(t *testing.T) {
+	// Compare the index of dispersion (variance/mean of per-window counts)
+	// against a Bernoulli source at the same mean rate: the bursty source
+	// must be clearly over-dispersed.
+	const cycles = 100000
+	const window = 50
+	cfg := BurstyConfig{N: 2, OnRate: 0.5, MeanOn: 30, MeanOff: 120, MsgLen: 4, Seed: 3}
+	recs, _ := runBursty(t, cfg, cycles)
+	disp := func(times []int64) float64 {
+		counts := make([]float64, cycles/window+1)
+		for _, at := range times {
+			counts[at/window]++
+		}
+		mean, m2 := 0.0, 0.0
+		for _, c := range counts {
+			mean += c
+		}
+		mean /= float64(len(counts))
+		for _, c := range counts {
+			m2 += (c - mean) * (c - mean)
+		}
+		if mean == 0 {
+			return 0
+		}
+		return m2 / float64(len(counts)) / mean
+	}
+	burstyDisp := disp(recs[0].times)
+
+	uniCfg := Config{N: 2, Rate: cfg.MeanRate(), MsgLen: 4, Seed: 3}
+	var k sim.Kernel
+	urec := []*recorder{{}, {}}
+	_, err := Install(&k, uniCfg, []Sender{urec[0], urec[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run(cycles)
+	uniDisp := disp(urec[0].times)
+
+	if burstyDisp < 2*uniDisp {
+		t.Errorf("bursty dispersion %.2f not clearly above Bernoulli %.2f", burstyDisp, uniDisp)
+	}
+}
+
+func TestBurstyRespectsUntil(t *testing.T) {
+	cfg := BurstyConfig{N: 2, OnRate: 0.5, MeanOn: 10, MeanOff: 10, MsgLen: 4, Seed: 1, Until: 200}
+	recs, _ := runBursty(t, cfg, 10000)
+	for _, r := range recs {
+		for _, at := range r.times {
+			if at >= 200 {
+				t.Fatalf("message at %d, after Until", at)
+			}
+		}
+	}
+}
+
+func TestBurstyBroadcastMix(t *testing.T) {
+	cfg := BurstyConfig{N: 4, OnRate: 0.5, MeanOn: 50, MeanOff: 50, Beta: 0.3, MsgLen: 4, Seed: 8}
+	recs, sources := runBursty(t, cfg, 50000)
+	var bcasts, total int64
+	for i, r := range recs {
+		bcasts += int64(r.broadcasts)
+		total += sources[i].Sent()
+	}
+	frac := float64(bcasts) / float64(total)
+	if math.Abs(frac-0.3) > 0.03 {
+		t.Errorf("broadcast fraction %v, want about 0.3", frac)
+	}
+}
+
+func TestBurstyDeterminism(t *testing.T) {
+	cfg := BurstyConfig{N: 4, OnRate: 0.5, MeanOn: 20, MeanOff: 20, MsgLen: 4, Seed: 12}
+	a, _ := runBursty(t, cfg, 5000)
+	b, _ := runBursty(t, cfg, 5000)
+	for i := range a {
+		if len(a[i].times) != len(b[i].times) {
+			t.Fatal("bursty traffic not deterministic")
+		}
+	}
+}

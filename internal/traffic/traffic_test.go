@@ -1,0 +1,231 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"quarc/internal/sim"
+)
+
+// recorder counts messages instead of injecting them into a fabric.
+type recorder struct {
+	unicasts   []int
+	broadcasts int
+	times      []int64
+}
+
+func (r *recorder) SendUnicast(dst, msgLen int, now int64) uint64 {
+	r.unicasts = append(r.unicasts, dst)
+	r.times = append(r.times, now)
+	return 0
+}
+
+func (r *recorder) SendBroadcast(msgLen int, now int64) uint64 {
+	r.broadcasts++
+	r.times = append(r.times, now)
+	return 0
+}
+
+func run(t *testing.T, cfg Config, cycles int64) ([]*recorder, []*Source) {
+	t.Helper()
+	var k sim.Kernel
+	recs := make([]*recorder, cfg.N)
+	senders := make([]Sender, cfg.N)
+	for i := range recs {
+		recs[i] = &recorder{}
+		senders[i] = recs[i]
+	}
+	sources, err := Install(&k, cfg, senders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run(cycles)
+	return recs, sources
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{N: 1, Rate: 0.1, MsgLen: 4},
+		{N: 8, Rate: -0.1, MsgLen: 4},
+		{N: 8, Rate: 1.5, MsgLen: 4},
+		{N: 8, Rate: 0.1, Beta: 2, MsgLen: 4},
+		{N: 8, Rate: 0.1, MsgLen: 1},
+		{N: 8, Rate: 0.1, MsgLen: 4, HotspotBias: -1},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("case %d: bad config validated", i)
+		}
+	}
+	good := Config{N: 8, Rate: 0.1, Beta: 0.05, MsgLen: 8}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+}
+
+func TestArrivalRate(t *testing.T) {
+	const cycles = 200000
+	cfg := Config{N: 4, Rate: 0.05, MsgLen: 4, Seed: 1}
+	_, sources := run(t, cfg, cycles)
+	for _, s := range sources {
+		got := float64(s.Sent()) / cycles
+		if math.Abs(got-cfg.Rate) > 0.005 {
+			t.Errorf("node rate = %v, want about %v", got, cfg.Rate)
+		}
+	}
+}
+
+func TestBroadcastFraction(t *testing.T) {
+	cfg := Config{N: 4, Rate: 0.2, Beta: 0.1, MsgLen: 4, Seed: 2}
+	recs, sources := run(t, cfg, 100000)
+	total := TotalSent(sources)
+	var bcasts int
+	for _, r := range recs {
+		bcasts += r.broadcasts
+	}
+	frac := float64(bcasts) / float64(total)
+	if math.Abs(frac-cfg.Beta) > 0.01 {
+		t.Errorf("broadcast fraction = %v, want about %v", frac, cfg.Beta)
+	}
+}
+
+func TestUniformDestinations(t *testing.T) {
+	cfg := Config{N: 8, Rate: 0.2, MsgLen: 4, Seed: 3}
+	recs, _ := run(t, cfg, 50000)
+	counts := make([]int, cfg.N)
+	total := 0
+	for node, r := range recs {
+		for _, d := range r.unicasts {
+			if d == node {
+				t.Fatal("self-addressed message")
+			}
+			counts[d]++
+			total++
+		}
+	}
+	want := float64(total) / float64(cfg.N)
+	for d, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("destination %d count %d deviates from uniform %f", d, c, want)
+		}
+	}
+}
+
+func TestAntipodalPattern(t *testing.T) {
+	cfg := Config{N: 8, Rate: 0.2, MsgLen: 4, Pattern: Antipodal, Seed: 4}
+	recs, _ := run(t, cfg, 2000)
+	for node, r := range recs {
+		for _, d := range r.unicasts {
+			if d != (node+4)%8 {
+				t.Fatalf("node %d sent to %d, want antipode", node, d)
+			}
+		}
+	}
+}
+
+func TestNearestNeighborPattern(t *testing.T) {
+	cfg := Config{N: 8, Rate: 0.2, MsgLen: 4, Pattern: NearestNeighbor, Seed: 5}
+	recs, _ := run(t, cfg, 2000)
+	for node, r := range recs {
+		for _, d := range r.unicasts {
+			if d != (node+1)%8 {
+				t.Fatalf("node %d sent to %d, want neighbour", node, d)
+			}
+		}
+	}
+}
+
+func TestHotspotPattern(t *testing.T) {
+	cfg := Config{N: 8, Rate: 0.2, MsgLen: 4, Pattern: Hotspot,
+		HotspotNode: 3, HotspotBias: 0.5, Seed: 6}
+	recs, _ := run(t, cfg, 50000)
+	hot, total := 0, 0
+	for node, r := range recs {
+		if node == 3 {
+			continue
+		}
+		for _, d := range r.unicasts {
+			if d == 3 {
+				hot++
+			}
+			total++
+		}
+	}
+	frac := float64(hot) / float64(total)
+	// bias + residual uniform probability of hitting the hotspot
+	want := 0.5 + 0.5/7.0
+	if math.Abs(frac-want) > 0.02 {
+		t.Errorf("hotspot fraction = %v, want about %v", frac, want)
+	}
+}
+
+func TestBitReversePattern(t *testing.T) {
+	if bitReverse(1, 8) != 4 || bitReverse(3, 8) != 6 || bitReverse(0, 8) != 0 {
+		t.Fatal("bitReverse wrong")
+	}
+	cfg := Config{N: 8, Rate: 0.2, MsgLen: 4, Pattern: BitReverse, Seed: 7}
+	recs, _ := run(t, cfg, 2000)
+	for node, r := range recs {
+		want := bitReverse(node, 8)
+		for _, d := range r.unicasts {
+			if want != node && d != want {
+				t.Fatalf("node %d sent to %d, want %d", node, d, want)
+			}
+			if d == node {
+				t.Fatal("self-addressed message")
+			}
+		}
+	}
+}
+
+func TestUntilStopsGeneration(t *testing.T) {
+	cfg := Config{N: 2, Rate: 0.5, MsgLen: 4, Seed: 8, Until: 100}
+	recs, _ := run(t, cfg, 10000)
+	for _, r := range recs {
+		for _, at := range r.times {
+			if at >= 100 {
+				t.Fatalf("message generated at %d, after Until", at)
+			}
+		}
+	}
+}
+
+func TestZeroRateGeneratesNothing(t *testing.T) {
+	cfg := Config{N: 2, Rate: 0, MsgLen: 4, Seed: 9}
+	_, sources := run(t, cfg, 1000)
+	if TotalSent(sources) != 0 {
+		t.Fatal("zero rate generated messages")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	cfg := Config{N: 4, Rate: 0.1, Beta: 0.2, MsgLen: 4, Seed: 10}
+	a, _ := run(t, cfg, 5000)
+	b, _ := run(t, cfg, 5000)
+	for i := range a {
+		if len(a[i].unicasts) != len(b[i].unicasts) || a[i].broadcasts != b[i].broadcasts {
+			t.Fatal("traffic not deterministic")
+		}
+		for j := range a[i].unicasts {
+			if a[i].unicasts[j] != b[i].unicasts[j] {
+				t.Fatal("destination sequence differs")
+			}
+		}
+	}
+}
+
+func TestInstallSenderCountMismatch(t *testing.T) {
+	var k sim.Kernel
+	cfg := Config{N: 4, Rate: 0.1, MsgLen: 4}
+	if _, err := Install(&k, cfg, make([]Sender, 2)); err == nil {
+		t.Fatal("mismatched sender count accepted")
+	}
+}
+
+func TestPatternStrings(t *testing.T) {
+	for _, p := range []Pattern{Uniform, Hotspot, Antipodal, NearestNeighbor, BitReverse, Pattern(9)} {
+		if p.String() == "" {
+			t.Fatalf("empty string for pattern %d", int(p))
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package quarc is a flit-level simulation library reproducing "Design and
+// implementation of the Quarc Network on-Chip" (Moadeli, Maji,
+// Vanderbauwhede; IEEE IPDPS 2009).
+//
+// It provides cycle-accurate wormhole models of the Quarc NoC (an all-port,
+// doubled-cross-link derivative of the Spidergon with true hardware
+// broadcast/multicast along base-routing conformed paths), the Spidergon
+// baseline, and mesh/torus substrates; synthetic traffic generation;
+// analytical latency models; a structural FPGA area model calibrated to the
+// paper's Virtex-II Pro results; and an experiment harness that regenerates
+// every table and figure of the paper's evaluation.
+//
+// Quick start:
+//
+//	res, err := quarc.Run(quarc.Config{
+//	    Topo: quarc.TopoQuarc, N: 16, MsgLen: 16, Beta: 0.05, Rate: 0.01,
+//	})
+//	fmt.Println(res.UnicastMean, res.BcastMean)
+//
+// For direct access to the fabric (custom workloads, cache-coherence style
+// traffic), build a network and drive it cycle by cycle:
+//
+//	fab, nodes, _ := quarc.NewQuarc(quarc.QuarcConfig{N: 16, Depth: 4})
+//	nodes[0].SendBroadcast(16, fab.Now())
+//	for fab.Tracker.InFlight() > 0 {
+//	    fab.Step()
+//	}
+package quarc
+
+import (
+	"quarc/internal/cost"
+	"quarc/internal/experiments"
+	"quarc/internal/mesh"
+	"quarc/internal/network"
+	qswitch "quarc/internal/quarc"
+	"quarc/internal/spidergon"
+	"quarc/internal/traffic"
+)
+
+// Topology selects a network model.
+type Topology = experiments.Topology
+
+// Topology values.
+const (
+	TopoQuarc            = experiments.TopoQuarc
+	TopoSpidergon        = experiments.TopoSpidergon
+	TopoQuarcChainBcast  = experiments.TopoQuarcChainBcast
+	TopoQuarcSingleQueue = experiments.TopoQuarcSingleQueue
+	TopoMesh             = experiments.TopoMesh
+	TopoTorus            = experiments.TopoTorus
+)
+
+// Config parameterises a measured simulation run; Result carries its
+// measurements. See internal/experiments for field documentation.
+type (
+	Config = experiments.Config
+	Result = experiments.Result
+)
+
+// Run executes one configuration: build the network, apply the workload for
+// the warmup+measure window, drain, and report latency and throughput
+// statistics.
+func Run(cfg Config) (Result, error) { return experiments.Run(cfg) }
+
+// Sweep types for regenerating the paper's figures.
+type (
+	PanelSpec   = experiments.PanelSpec
+	PanelResult = experiments.PanelResult
+	RunOpts     = experiments.RunOpts
+)
+
+// Figure panel definitions (paper Figs 9, 10, 11).
+func Fig9Panels() []PanelSpec  { return experiments.Fig9Panels() }
+func Fig10Panels() []PanelSpec { return experiments.Fig10Panels() }
+func Fig11Panels() []PanelSpec { return experiments.Fig11Panels() }
+
+// DefaultOpts and FastOpts scale simulation effort.
+func DefaultOpts() RunOpts { return experiments.DefaultOpts() }
+func FastOpts() RunOpts    { return experiments.FastOpts() }
+
+// RunPanel sweeps one figure panel over offered load for both the Quarc and
+// the Spidergon.
+func RunPanel(spec PanelSpec, opts RunOpts) (PanelResult, error) {
+	return experiments.RunPanel(spec, opts)
+}
+
+// Direct fabric access. Fabric is the assembled network; Step advances one
+// cycle; Tracker follows message lifecycles.
+type (
+	Fabric        = network.Fabric
+	MessageRecord = network.MessageRecord
+	Tracker       = network.Tracker
+
+	// Transceiver is the Quarc network adapter (quadrant calculator + four
+	// injection queues + reassembly).
+	Transceiver = qswitch.Transceiver
+	// QuarcConfig configures a Quarc build (including the ablation knobs).
+	QuarcConfig = qswitch.Config
+
+	// SpidergonAdapter is the one-port baseline adapter.
+	SpidergonAdapter = spidergon.Adapter
+	// SpidergonConfig configures a Spidergon build.
+	SpidergonConfig = spidergon.Config
+
+	// MeshAdapter and MeshConfig expose the mesh/torus substrate.
+	MeshAdapter = mesh.Adapter
+	MeshConfig  = mesh.Config
+)
+
+// NewQuarc builds an n-node Quarc network and its transceivers.
+func NewQuarc(cfg QuarcConfig) (*Fabric, []*Transceiver, error) { return qswitch.Build(cfg) }
+
+// NewSpidergon builds the Spidergon baseline.
+func NewSpidergon(cfg SpidergonConfig) (*Fabric, []*SpidergonAdapter, error) {
+	return spidergon.Build(cfg)
+}
+
+// NewMesh builds a mesh or torus.
+func NewMesh(cfg MeshConfig) (*Fabric, []*MeshAdapter, error) { return mesh.Build(cfg) }
+
+// Traffic pattern selection for Config.Pattern.
+type Pattern = traffic.Pattern
+
+// Pattern values.
+const (
+	Uniform         = traffic.Uniform
+	Hotspot         = traffic.Hotspot
+	Antipodal       = traffic.Antipodal
+	NearestNeighbor = traffic.NearestNeighbor
+	BitReverse      = traffic.BitReverse
+)
+
+// Cost model (paper Table 1 and Fig 12).
+type (
+	SwitchCost = cost.Switch
+	ModuleCost = cost.ModuleCost
+	Fig12Row   = cost.Fig12Row
+)
+
+// QuarcSwitchCost and SpidergonSwitchCost return the calibrated structural
+// area models.
+func QuarcSwitchCost() SwitchCost     { return cost.QuarcSwitch() }
+func SpidergonSwitchCost() SwitchCost { return cost.SpidergonSwitch() }
+
+// Table1 returns the module-wise slice counts of the 32-bit Quarc switch.
+func Table1() []ModuleCost { return cost.Table1() }
+
+// Fig12 returns the 16/32/64-bit cost comparison.
+func Fig12() []Fig12Row { return cost.Fig12() }

@@ -1,0 +1,82 @@
+package quarc_test
+
+import (
+	"testing"
+
+	"quarc"
+)
+
+func TestPublicRunAPI(t *testing.T) {
+	res, err := quarc.Run(quarc.Config{
+		Topo: quarc.TopoQuarc, N: 16, MsgLen: 8, Beta: 0.1, Rate: 0.005,
+		Warmup: 200, Measure: 1000, Drain: 6000, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UnicastCount == 0 || res.BcastCount == 0 {
+		t.Fatalf("missing samples: %+v", res)
+	}
+	if res.Duplicates != 0 {
+		t.Fatal("duplicate deliveries through the public API")
+	}
+}
+
+func TestPublicFabricAPI(t *testing.T) {
+	fab, nodes, err := quarc.NewQuarc(quarc.QuarcConfig{N: 16, Depth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done []quarc.MessageRecord
+	fab.Tracker.OnDone = func(r quarc.MessageRecord) { done = append(done, r) }
+	nodes[0].SendBroadcast(8, fab.Now())
+	nodes[3].SendUnicast(9, 8, fab.Now())
+	for i := 0; i < 10000 && fab.Tracker.InFlight() > 0; i++ {
+		fab.Step()
+	}
+	if len(done) != 2 {
+		t.Fatalf("completed %d messages, want 2", len(done))
+	}
+}
+
+func TestPublicBaselineBuilders(t *testing.T) {
+	if _, _, err := quarc.NewSpidergon(quarc.SpidergonConfig{N: 16, Depth: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := quarc.NewMesh(quarc.MeshConfig{W: 4, H: 4, Depth: 4}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicCostAPI(t *testing.T) {
+	if quarc.QuarcSwitchCost().Slices(32) != 1453 {
+		t.Fatal("Table 1 calibration broken")
+	}
+	if quarc.SpidergonSwitchCost().Slices(32) != 1700 {
+		t.Fatal("Spidergon calibration broken")
+	}
+	if len(quarc.Table1()) != 6 || len(quarc.Fig12()) != 3 {
+		t.Fatal("table shapes wrong")
+	}
+}
+
+func TestPublicPanelAPI(t *testing.T) {
+	panels := quarc.Fig9Panels()
+	if len(panels) != 3 {
+		t.Fatal("Fig 9 panel count")
+	}
+	spec := panels[0]
+	spec.Rates = []float64{0.004}
+	pr, err := quarc.RunPanel(spec, quarc.RunOpts{
+		Warmup: 200, Measure: 800, Drain: 4000, Depth: 4, Seed: 1, Points: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.QuarcUni.Y) != 1 {
+		t.Fatal("panel sweep incomplete")
+	}
+	if pr.Render() == "" {
+		t.Fatal("panel render empty")
+	}
+}
