@@ -1,0 +1,32 @@
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build test race fuzz-short bench fmt vet check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Run every fuzz target briefly (go test -fuzz takes one target at a time).
+fuzz-short:
+	$(GO) test -run=^$$ -fuzz=FuzzEncodeDecodeWire -fuzztime=$(FUZZTIME) ./internal/flit/
+	$(GO) test -run=^$$ -fuzz=FuzzDecodePacket -fuzztime=$(FUZZTIME) ./internal/flit/
+
+bench:
+	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+check: fmt vet build test

@@ -8,6 +8,7 @@
 //
 //	quarcbench -experiment all
 //	quarcbench -experiment fig9 -fast
+//	quarcbench -experiment fig10 -replicates 5 -workers 8
 //	quarcbench -experiment cost
 package main
 
@@ -25,8 +26,13 @@ func main() {
 	var (
 		which = flag.String("experiment", "all",
 			"one of: fig9, fig10, fig11, table1, fig12, cost, verify, ablation, mesh, linkload, contention, depth, bursty, hotspot, all")
-		fast   = flag.Bool("fast", false, "reduced simulation length (quick look)")
-		csvDir = flag.String("csv", "", "also write per-panel CSV files into this directory")
+		fast       = flag.Bool("fast", false, "reduced simulation length (quick look)")
+		csvDir     = flag.String("csv", "", "also write per-panel CSV files into this directory")
+		replicates = flag.Int("replicates", 1,
+			"independent replicates per sweep point (mean ± 95% CI aggregation)")
+		workers = flag.Int("workers", 0,
+			"sweep goroutines (0 = GOMAXPROCS); never changes the results")
+		serial = flag.Bool("serial", false, "run panel sweeps on a single goroutine")
 	)
 	flag.Parse()
 
@@ -34,11 +40,25 @@ func main() {
 	if *fast {
 		opts = experiments.FastOpts()
 	}
+	opts.Replicates = *replicates
+	opts.Workers = *workers
+	if *replicates > 1 {
+		switch *which {
+		case "fig9", "fig10", "fig11", "all":
+		default:
+			fmt.Fprintf(os.Stderr, "quarcbench: note: -replicates and -workers apply to the "+
+				"fig9/fig10/fig11 panel sweeps; %q runs unreplicated\n", *which)
+		}
+	}
 
+	runPanel := experiments.RunPanel
+	if *serial {
+		runPanel = experiments.RunPanelSerial
+	}
 	runPanels := func(name string, panels []experiments.PanelSpec) {
 		for pi, spec := range panels {
 			start := time.Now()
-			pr, err := experiments.RunPanel(spec, opts)
+			pr, err := runPanel(spec, opts)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "quarcbench: %s: %v\n", name, err)
 				os.Exit(1)

@@ -19,17 +19,20 @@ import (
 
 func main() {
 	var (
-		topoName = flag.String("topo", "quarc", "topology: quarc, spidergon, quarc-chainbcast, quarc-1queue, mesh, torus")
-		n        = flag.Int("n", 16, "number of nodes (multiple of 4 for rings, square for meshes)")
-		m        = flag.Int("m", 16, "message length in flits")
-		beta     = flag.Float64("beta", 0.05, "broadcast fraction of generated messages")
-		rate     = flag.Float64("rate", 0.01, "offered load, messages per node per cycle")
-		pattern  = flag.String("pattern", "uniform", "unicast pattern: uniform, hotspot, antipodal, neighbor, bitreverse")
-		warmup   = flag.Int64("warmup", 3000, "warmup cycles (not measured)")
-		cycles   = flag.Int64("cycles", 12000, "measured cycles")
-		drain    = flag.Int64("drain", 40000, "max drain cycles after generation stops")
-		depth    = flag.Int("depth", 4, "virtual-channel buffer depth in flits")
-		seed     = flag.Uint64("seed", 1, "random seed")
+		topoName   = flag.String("topo", "quarc", "topology: quarc, spidergon, quarc-chainbcast, quarc-1queue, mesh, torus")
+		n          = flag.Int("n", 16, "number of nodes (multiple of 4 for rings, square for meshes)")
+		m          = flag.Int("m", 16, "message length in flits")
+		beta       = flag.Float64("beta", 0.05, "broadcast fraction of generated messages")
+		rate       = flag.Float64("rate", 0.01, "offered load, messages per node per cycle")
+		pattern    = flag.String("pattern", "uniform", "unicast pattern: uniform, hotspot, antipodal, neighbor, bitreverse")
+		warmup     = flag.Int64("warmup", 3000, "warmup cycles (not measured)")
+		cycles     = flag.Int64("cycles", 12000, "measured cycles")
+		drain      = flag.Int64("drain", 40000, "max drain cycles after generation stops")
+		depth      = flag.Int("depth", 4, "virtual-channel buffer depth in flits")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		replicates = flag.Int("replicates", 1,
+			"independent replicates with derived seeds; >1 reports mean ± 95% CI across them")
+		workers = flag.Int("workers", 0, "replicate goroutines (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -59,11 +62,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	res, err := quarc.Run(quarc.Config{
+	res, reps, err := quarc.RunReplicated(quarc.Config{
 		Topo: topo, N: *n, MsgLen: *m, Beta: *beta, Rate: *rate,
 		Pattern: pat, Depth: *depth,
 		Warmup: *warmup, Measure: *cycles, Drain: *drain, Seed: *seed,
-	})
+	}, *replicates, *workers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "quarcsim: %v\n", err)
 		os.Exit(1)
@@ -72,6 +75,9 @@ func main() {
 	fmt.Printf("topology        %v\n", topo)
 	fmt.Printf("nodes           %d\n", *n)
 	fmt.Printf("message length  %d flits\n", *m)
+	if len(reps) > 1 {
+		fmt.Printf("replicates      %d (latencies are means ± 95%% CI across replicates)\n", len(reps))
+	}
 	fmt.Printf("offered load    %.5f msgs/node/cycle (beta=%.0f%%)\n", *rate, *beta*100)
 	fmt.Printf("unicast latency %.2f ± %.2f cycles (%d messages)\n",
 		res.UnicastMean, res.UnicastCI, res.UnicastCount)

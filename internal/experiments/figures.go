@@ -21,7 +21,7 @@ type PanelSpec struct {
 	// analytic channel-capacity bound
 }
 
-// RunOpts scales the simulation effort.
+// RunOpts scales the simulation effort and the sweep execution.
 type RunOpts struct {
 	Warmup  int64
 	Measure int64
@@ -29,6 +29,12 @@ type RunOpts struct {
 	Depth   int
 	Seed    uint64
 	Points  int // rate-grid points when PanelSpec.Rates is nil
+	// Replicates is the number of independent simulations per design point
+	// (distinct derived seeds, aggregated as mean ± 95% CI). 0 means 1.
+	Replicates int
+	// Workers bounds the sweep goroutines; 0 means GOMAXPROCS. The result
+	// does not depend on it.
+	Workers int
 }
 
 // DefaultOpts is the full-fidelity configuration used by cmd/quarcbench.
@@ -100,7 +106,10 @@ func Fig11Panels() []PanelSpec {
 }
 
 // PanelResult is the measured panel: four curves as in the paper's figures
-// (unicast and broadcast latency for Quarc and Spidergon).
+// (unicast and broadcast latency for Quarc and Spidergon). Results holds the
+// replicate-aggregated measurement per swept rate; Raw keeps the individual
+// replicate results ([rate index][replicate]). RunPanel and RunPanelSerial
+// in sweep.go produce it.
 type PanelResult struct {
 	Spec       PanelSpec
 	QuarcUni   stats.Series
@@ -108,51 +117,9 @@ type PanelResult struct {
 	SpiderUni  stats.Series
 	SpiderBc   stats.Series
 	Results    map[Topology][]Result
+	Raw        map[Topology][][]Result
 	RatesSwept []float64
-}
-
-// RunPanel sweeps one panel for both architectures.
-func RunPanel(spec PanelSpec, opts RunOpts) (PanelResult, error) {
-	rates := spec.Rates
-	if rates == nil {
-		rates = rateGrid(spec, opts.Points)
-	}
-	pr := PanelResult{
-		Spec:       spec,
-		RatesSwept: rates,
-		Results:    map[Topology][]Result{},
-	}
-	pr.QuarcUni.Name = "quarc unicast"
-	pr.QuarcBc.Name = "quarc broadcast"
-	pr.SpiderUni.Name = "spidergon unicast"
-	pr.SpiderBc.Name = "spidergon broadcast"
-	for _, topo := range []Topology{TopoQuarc, TopoSpidergon} {
-		for _, rate := range rates {
-			res, err := Run(Config{
-				Topo: topo, N: spec.N, MsgLen: spec.MsgLen, Beta: spec.Beta,
-				Rate: rate, Depth: opts.Depth,
-				Warmup: opts.Warmup, Measure: opts.Measure, Drain: opts.Drain,
-				Seed: opts.Seed,
-			})
-			if err != nil {
-				return pr, err
-			}
-			pr.Results[topo] = append(pr.Results[topo], res)
-			switch topo {
-			case TopoQuarc:
-				pr.QuarcUni.Append(rate, res.UnicastMean, res.Saturated)
-				if spec.Beta > 0 {
-					pr.QuarcBc.Append(rate, res.BcastMean, res.Saturated)
-				}
-			case TopoSpidergon:
-				pr.SpiderUni.Append(rate, res.UnicastMean, res.Saturated)
-				if spec.Beta > 0 {
-					pr.SpiderBc.Append(rate, res.BcastMean, res.Saturated)
-				}
-			}
-		}
-	}
-	return pr, nil
+	Replicates int
 }
 
 // Render formats the panel as the paper-style rows plus an ASCII chart.
@@ -164,31 +131,52 @@ func (pr PanelResult) Render() string {
 	qs, ss := pr.Results[TopoQuarc], pr.Results[TopoSpidergon]
 	for i, rate := range pr.RatesSwept {
 		row := []string{fmt.Sprintf("%.5f", rate)}
-		cell := func(v float64, n int64) string {
+		cell := func(v, ci float64, n int64) string {
 			if n == 0 {
 				return "-"
+			}
+			// ci == 0 under replication means the interval is undefined
+			// (fewer than two replicates measured this class); don't dress
+			// a single-sample estimate up as a zero-width CI.
+			if pr.Replicates > 1 && ci > 0 {
+				return fmt.Sprintf("%.1f±%.1f", v, ci)
 			}
 			return fmt.Sprintf("%.1f", v)
 		}
 		row = append(row,
-			cell(qs[i].UnicastMean, qs[i].UnicastCount),
-			cell(qs[i].BcastMean, qs[i].BcastCount),
-			cell(ss[i].UnicastMean, ss[i].UnicastCount),
-			cell(ss[i].BcastMean, ss[i].BcastCount),
+			cell(qs[i].UnicastMean, qs[i].UnicastCI, qs[i].UnicastCount),
+			cell(qs[i].BcastMean, qs[i].BcastCI, qs[i].BcastCount),
+			cell(ss[i].UnicastMean, ss[i].UnicastCI, ss[i].UnicastCount),
+			cell(ss[i].BcastMean, ss[i].BcastCI, ss[i].BcastCount),
 			fmt.Sprintf("%v", qs[i].Saturated),
 			fmt.Sprintf("%v", ss[i].Saturated),
 		)
 		rows = append(rows, row)
 	}
 	b.WriteString(plot.Table(header, rows))
+	// With replicates, the across-replicate 95% CIs become chart whiskers.
+	ciOf := func(rs []Result, bc bool) []float64 {
+		if pr.Replicates < 2 {
+			return nil
+		}
+		out := make([]float64, len(rs))
+		for i, r := range rs {
+			if bc {
+				out[i] = r.BcastCI
+			} else {
+				out[i] = r.UnicastCI
+			}
+		}
+		return out
+	}
 	curves := []plot.Curve{
-		{Name: pr.QuarcUni.Name, X: pr.QuarcUni.X, Y: pr.QuarcUni.Y, Marker: 'q'},
-		{Name: pr.SpiderUni.Name, X: pr.SpiderUni.X, Y: pr.SpiderUni.Y, Marker: 's'},
+		{Name: pr.QuarcUni.Name, X: pr.QuarcUni.X, Y: pr.QuarcUni.Y, Err: ciOf(qs, false), Marker: 'q'},
+		{Name: pr.SpiderUni.Name, X: pr.SpiderUni.X, Y: pr.SpiderUni.Y, Err: ciOf(ss, false), Marker: 's'},
 	}
 	if pr.Spec.Beta > 0 {
 		curves = append(curves,
-			plot.Curve{Name: pr.QuarcBc.Name, X: pr.QuarcBc.X, Y: pr.QuarcBc.Y, Marker: 'Q'},
-			plot.Curve{Name: pr.SpiderBc.Name, X: pr.SpiderBc.X, Y: pr.SpiderBc.Y, Marker: 'S'},
+			plot.Curve{Name: pr.QuarcBc.Name, X: pr.QuarcBc.X, Y: pr.QuarcBc.Y, Err: ciOf(qs, true), Marker: 'Q'},
+			plot.Curve{Name: pr.SpiderBc.Name, X: pr.SpiderBc.X, Y: pr.SpiderBc.Y, Err: ciOf(ss, true), Marker: 'S'},
 		)
 	}
 	b.WriteString(plot.Chart("latency (cycles) vs offered rate (msgs/node/cycle)", curves, 60, 14))

@@ -1,0 +1,269 @@
+// Parallel sweep engine: the paper's evaluation grids (Figs 9-11) are sets
+// of independent simulation points — (topology, offered rate, replicate)
+// triples — so regenerating a panel is embarrassingly parallel. The engine
+// fans the points across a bounded worker pool while keeping the output
+// bit-for-bit identical to a serial sweep: every point derives its own seed
+// from the experiment seed alone (never from scheduling order), results land
+// in a slot indexed by point position, and replicate aggregation folds them
+// in a fixed order. RunPanelSerial preserves the plain sequential path so
+// tests can assert the equivalence.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"quarc/internal/rng"
+	"quarc/internal/stats"
+)
+
+// panelTopologies is the architecture pair swept by every figure panel.
+var panelTopologies = []Topology{TopoQuarc, TopoSpidergon}
+
+// sweepPoint is one independent design point of a sweep.
+type sweepPoint struct {
+	Cfg       Config
+	Topo      Topology
+	RateIndex int
+	Replicate int
+}
+
+// PointSeed derives the deterministic seed of a design point from the
+// experiment-level base seed. Distinct (topology, rate index, replicate)
+// triples get statistically independent seeds, and the value depends only on
+// the triple — never on worker scheduling — so parallel and serial sweeps
+// simulate exactly the same systems.
+func PointSeed(base uint64, topo Topology, rateIndex, replicate int) uint64 {
+	return rng.Derive(base, uint64(topo), uint64(rateIndex), uint64(replicate))
+}
+
+// normalized fills the sweep-level defaults.
+func (o RunOpts) normalized() RunOpts {
+	if o.Replicates < 1 {
+		o.Replicates = 1
+	}
+	if o.Workers < 1 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// sweepRun executes every point on a pool of workers goroutines. Results are
+// written into a slot per point, so the returned order is the input order
+// regardless of which worker finished when. The first error (in point order)
+// is returned after all workers stop.
+func sweepRun(points []sweepPoint, workers int) ([]Result, error) {
+	results := make([]Result, len(points))
+	errs := make([]error, len(points))
+	if workers > len(points) {
+		workers = len(points)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(points) {
+					return
+				}
+				results[i], errs[i] = Run(points[i].Cfg)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// panelPoints expands a panel spec into its design points, ordered topology-
+// major, then rate, then replicate. assemblePanel relies on this layout.
+func panelPoints(spec PanelSpec, opts RunOpts) ([]sweepPoint, []float64) {
+	rates := spec.Rates
+	if rates == nil {
+		rates = rateGrid(spec, opts.Points)
+	}
+	points := make([]sweepPoint, 0, len(panelTopologies)*len(rates)*opts.Replicates)
+	for _, topo := range panelTopologies {
+		for ri, rate := range rates {
+			for rep := 0; rep < opts.Replicates; rep++ {
+				points = append(points, sweepPoint{
+					Topo: topo, RateIndex: ri, Replicate: rep,
+					Cfg: Config{
+						Topo: topo, N: spec.N, MsgLen: spec.MsgLen, Beta: spec.Beta,
+						Rate: rate, Depth: opts.Depth,
+						Warmup: opts.Warmup, Measure: opts.Measure, Drain: opts.Drain,
+						Seed: PointSeed(opts.Seed, topo, ri, rep),
+					},
+				})
+			}
+		}
+	}
+	return points, rates
+}
+
+// aggregateReplicates folds the replicate results of one (topology, rate)
+// point into a single Result. With one replicate it is the identity. With
+// more, the latency means become across-replicate means and the CI fields
+// become the 95% confidence half-width of those replicate means (the
+// standard independent-replications estimator); percentile and throughput
+// fields are averaged, counts are summed, and the point counts as saturated
+// if any replicate saturated. Cfg is replicate 0's configuration.
+func aggregateReplicates(reps []Result) Result {
+	if len(reps) == 0 {
+		return Result{}
+	}
+	if len(reps) == 1 {
+		return reps[0]
+	}
+	// Latency metrics only exist in replicates that measured at least one
+	// message of that class: a zero-count replicate's 0.0 mean is absence of
+	// data, not data, and folding it in would bias the aggregate toward zero
+	// (the single-run path renders such points as "-").
+	collect := func(ok func(Result) bool, get func(Result) float64) []float64 {
+		xs := make([]float64, 0, len(reps))
+		for _, r := range reps {
+			if ok(r) {
+				xs = append(xs, get(r))
+			}
+		}
+		return xs
+	}
+	avg := func(ok func(Result) bool, get func(Result) float64) float64 {
+		m, _ := stats.MeanCI95(collect(ok, get))
+		return m
+	}
+	hasUni := func(r Result) bool { return r.UnicastCount > 0 }
+	hasBc := func(r Result) bool { return r.BcastCount > 0 }
+	always := func(Result) bool { return true }
+	agg := reps[0]
+	agg.UnicastMean, agg.UnicastCI = stats.MeanCI95(collect(hasUni, func(r Result) float64 { return r.UnicastMean }))
+	agg.BcastMean, agg.BcastCI = stats.MeanCI95(collect(hasBc, func(r Result) float64 { return r.BcastMean }))
+	agg.UnicastP95 = avg(hasUni, func(r Result) float64 { return r.UnicastP95 })
+	agg.UnicastP99 = avg(hasUni, func(r Result) float64 { return r.UnicastP99 })
+	agg.BcastP95 = avg(hasBc, func(r Result) float64 { return r.BcastP95 })
+	agg.BcastDelivery = avg(hasBc, func(r Result) float64 { return r.BcastDelivery })
+	agg.Throughput = avg(always, func(r Result) float64 { return r.Throughput })
+	agg.UnicastCount, agg.BcastCount = 0, 0
+	agg.Leftover, agg.Duplicates, agg.Saturated = 0, 0, false
+	for _, r := range reps {
+		agg.UnicastCount += r.UnicastCount
+		agg.BcastCount += r.BcastCount
+		agg.Leftover += r.Leftover
+		agg.Duplicates += r.Duplicates
+		agg.Saturated = agg.Saturated || r.Saturated
+	}
+	return agg
+}
+
+// assemblePanel groups point results back into the panel structure. The
+// grouping is pure index arithmetic over panelPoints's layout, so it is
+// independent of how the points were executed.
+func assemblePanel(spec PanelSpec, opts RunOpts, rates []float64, results []Result) PanelResult {
+	pr := PanelResult{
+		Spec:       spec,
+		RatesSwept: rates,
+		Results:    map[Topology][]Result{},
+		Raw:        map[Topology][][]Result{},
+		Replicates: opts.Replicates,
+	}
+	pr.QuarcUni.Name = "quarc unicast"
+	pr.QuarcBc.Name = "quarc broadcast"
+	pr.SpiderUni.Name = "spidergon unicast"
+	pr.SpiderBc.Name = "spidergon broadcast"
+	for ti, topo := range panelTopologies {
+		for ri, rate := range rates {
+			base := (ti*len(rates) + ri) * opts.Replicates
+			reps := append([]Result(nil), results[base:base+opts.Replicates]...)
+			pr.Raw[topo] = append(pr.Raw[topo], reps)
+			res := aggregateReplicates(reps)
+			pr.Results[topo] = append(pr.Results[topo], res)
+			switch topo {
+			case TopoQuarc:
+				pr.QuarcUni.Append(rate, res.UnicastMean, res.Saturated)
+				if spec.Beta > 0 {
+					pr.QuarcBc.Append(rate, res.BcastMean, res.Saturated)
+				}
+			case TopoSpidergon:
+				pr.SpiderUni.Append(rate, res.UnicastMean, res.Saturated)
+				if spec.Beta > 0 {
+					pr.SpiderBc.Append(rate, res.BcastMean, res.Saturated)
+				}
+			}
+		}
+	}
+	return pr
+}
+
+// RunPanel sweeps one panel for both architectures, fanning the independent
+// (topology, rate, replicate) points across RunOpts.Workers goroutines. For
+// a fixed RunOpts.Seed the result is bit-identical to RunPanelSerial.
+func RunPanel(spec PanelSpec, opts RunOpts) (PanelResult, error) {
+	opts = opts.normalized()
+	points, rates := panelPoints(spec, opts)
+	results, err := sweepRun(points, opts.Workers)
+	if err != nil {
+		return PanelResult{Spec: spec, RatesSwept: rates}, err
+	}
+	return assemblePanel(spec, opts, rates, results), nil
+}
+
+// RunPanelSerial is RunPanel without the worker pool: the same points in the
+// same order on the calling goroutine. It exists so tests (and debugging
+// sessions) can compare the parallel engine against a plainly sequential
+// execution.
+func RunPanelSerial(spec PanelSpec, opts RunOpts) (PanelResult, error) {
+	opts = opts.normalized()
+	points, rates := panelPoints(spec, opts)
+	results := make([]Result, len(points))
+	for i, p := range points {
+		res, err := Run(p.Cfg)
+		if err != nil {
+			return PanelResult{Spec: spec, RatesSwept: rates}, err
+		}
+		results[i] = res
+	}
+	return assemblePanel(spec, opts, rates, results), nil
+}
+
+// RunReplicated executes one configuration replicates times with independent
+// derived seeds, in parallel across workers (0 means GOMAXPROCS), and
+// returns the aggregate alongside the per-replicate results. With one
+// replicate it is exactly Run(cfg): the seed is used as given.
+func RunReplicated(cfg Config, replicates, workers int) (Result, []Result, error) {
+	if replicates < 1 {
+		replicates = 1
+	}
+	if replicates == 1 {
+		res, err := Run(cfg)
+		return res, []Result{res}, err
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	points := make([]sweepPoint, replicates)
+	for rep := range points {
+		c := cfg
+		c.Seed = PointSeed(cfg.Seed, cfg.Topo, 0, rep)
+		points[rep] = sweepPoint{Cfg: c, Topo: cfg.Topo, Replicate: rep}
+	}
+	results, err := sweepRun(points, workers)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	return aggregateReplicates(results), results, nil
+}
+
+// String renders a sweep point compactly for diagnostics.
+func (p sweepPoint) String() string {
+	return fmt.Sprintf("%v rate[%d]=%.5f rep=%d seed=%#x",
+		p.Topo, p.RateIndex, p.Cfg.Rate, p.Replicate, p.Cfg.Seed)
+}

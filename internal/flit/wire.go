@@ -46,6 +46,9 @@ func EncodeWire(f Flit) (uint64, error) {
 		if f.Remain < 0 || f.Remain > 255 {
 			return 0, fmt.Errorf("flit: chain count %d does not fit 8 bits", f.Remain)
 		}
+		if f.Traffic > BcastChain {
+			return 0, fmt.Errorf("flit: invalid traffic type %d", f.Traffic)
+		}
 		w |= uint64(f.Dst) << 2
 		w |= uint64(f.Src) << 8
 		w |= uint64(f.PktLen) << 14
@@ -53,7 +56,7 @@ func EncodeWire(f Flit) (uint64, error) {
 		if f.ChainCCW {
 			w |= 1 << 28
 		}
-		w |= (uint64(f.Traffic) & 0x7) << 31
+		w |= uint64(f.Traffic) << 31
 	} else {
 		w |= uint64(f.Payload) << 2
 	}
@@ -62,6 +65,12 @@ func EncodeWire(f Flit) (uint64, error) {
 
 // DecodeWire unpacks a 34-bit wire word. Only wire-visible fields are
 // populated; simulator metadata (MsgID, Gen, ...) is zero.
+//
+// The decoder accepts exactly the words EncodeWire can produce: malformed
+// words — wider than 34 bits, reserved flit type, reserved header bits set,
+// out-of-range traffic type or a packet length the format forbids — are
+// rejected with an error, never a panic, so DecodeWire(w) == f implies
+// EncodeWire(f) == w (the fuzz harness holds the codec to this).
 func DecodeWire(w uint64) (Flit, error) {
 	if w&^WireMask != 0 {
 		return Flit{}, fmt.Errorf("flit: word %#x wider than 34 bits", w)
@@ -73,9 +82,15 @@ func DecodeWire(w uint64) (Flit, error) {
 	}
 	f.Kind = k
 	if k == Header {
+		if w>>29&0x3 != 0 {
+			return Flit{}, fmt.Errorf("flit: reserved header bits set in %#x", w)
+		}
 		f.Dst = int(w >> 2 & 0x3F)
 		f.Src = int(w >> 8 & 0x3F)
 		f.PktLen = int(w >> 14 & 0x3F)
+		if f.PktLen < 2 {
+			return Flit{}, fmt.Errorf("flit: header packet length %d < 2", f.PktLen)
+		}
 		f.Remain = int(w >> 20 & 0xFF)
 		f.ChainCCW = w>>28&1 != 0
 		f.Traffic = Traffic(w >> 31 & 0x7)
@@ -115,6 +130,11 @@ func EncodePacket(p []Flit) ([]uint64, error) {
 
 // DecodePacket reverses EncodePacket, reassembling the multicast bitstring.
 // Packets shorter than 3 flits can carry at most 32 bitstring bits.
+//
+// Beyond per-word validity it enforces the packet structure of §2.6 — a
+// header first, a tail last, bodies in between, and a header length field
+// matching the word count — so a successful decode always yields a packet
+// that Validate accepts and EncodePacket turns back into the same words.
 func DecodePacket(words []uint64) ([]Flit, error) {
 	if len(words) < 2 {
 		return nil, fmt.Errorf("flit: packet of %d words, need at least 2", len(words))
@@ -134,6 +154,18 @@ func DecodePacket(words []uint64) ([]Flit, error) {
 	}
 	if h.PktLen != len(words) {
 		return nil, fmt.Errorf("flit: header PktLen %d != %d words", h.PktLen, len(words))
+	}
+	for i := 1; i < len(p); i++ {
+		switch {
+		case i == len(p)-1:
+			if p[i].Kind != Tail {
+				return nil, fmt.Errorf("flit: last word is %v, want tail", p[i].Kind)
+			}
+		default:
+			if p[i].Kind != Body {
+				return nil, fmt.Errorf("flit: word %d is %v, want body", i, p[i].Kind)
+			}
+		}
 	}
 	if h.Traffic == Multicast {
 		h.Bits = uint64(p[1].Payload)

@@ -1,0 +1,105 @@
+package flit
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzEncodeDecodeWire holds the 34-bit codec to an exact round trip: any
+// word the decoder accepts must re-encode to the identical word, and any
+// word it rejects must produce an error, never a panic.
+func FuzzEncodeDecodeWire(f *testing.F) {
+	seed := []Flit{
+		{Kind: Header, Traffic: Unicast, Src: 3, Dst: 9, PktLen: 4},
+		{Kind: Header, Traffic: Broadcast, Src: 13, Dst: 62, PktLen: 17, Remain: 31},
+		{Kind: Header, Traffic: BcastChain, Src: 1, Dst: 2, PktLen: 2, Remain: 255, ChainCCW: true},
+		{Kind: Header, Traffic: Multicast, Src: 0, Dst: 15, PktLen: 8},
+		{Kind: Body, Payload: 0xDEADBEEF},
+		{Kind: Tail, Payload: 0xFFFFFFFF},
+	}
+	for _, fl := range seed {
+		w, err := EncodeWire(fl)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(w)
+	}
+	f.Add(uint64(3))                 // reserved flit type
+	f.Add(uint64(1) << 34)           // too wide
+	f.Add(uint64(1) | uint64(1)<<29) // reserved header bit
+	f.Fuzz(func(t *testing.T, w uint64) {
+		fl, err := DecodeWire(w)
+		if err != nil {
+			return // rejected without panicking: fine
+		}
+		w2, err := EncodeWire(fl)
+		if err != nil {
+			t.Fatalf("decoded %#x to %+v but cannot re-encode: %v", w, fl, err)
+		}
+		if w2 != w {
+			t.Fatalf("round trip %#x -> %+v -> %#x", w, fl, w2)
+		}
+	})
+}
+
+// wordsOf reassembles the fuzzer's byte soup into wire words (8 bytes each,
+// little-endian; a trailing partial word is dropped).
+func wordsOf(data []byte) []uint64 {
+	words := make([]uint64, 0, len(data)/8)
+	for len(data) >= 8 {
+		words = append(words, binary.LittleEndian.Uint64(data[:8]))
+		data = data[8:]
+	}
+	return words
+}
+
+func bytesOf(words []uint64) []byte {
+	out := make([]byte, 8*len(words))
+	for i, w := range words {
+		binary.LittleEndian.PutUint64(out[8*i:], w)
+	}
+	return out
+}
+
+// FuzzDecodePacket drives the packet decoder with arbitrary word sequences:
+// malformed packets must be rejected without panics, and any packet that
+// decodes must pass Validate, carry a reassembled multicast bitstring, and
+// re-encode to exactly the input words.
+func FuzzDecodePacket(f *testing.F) {
+	for _, p := range [][]Flit{
+		Packet(Flit{Src: 5, Dst: 10, Traffic: Unicast}, 4),
+		Packet(Flit{Src: 0, Dst: 15, Traffic: Multicast, Bits: 0xABCD_EF01_2345_6789}, 8),
+		Packet(Flit{Src: 0, Dst: 1, Traffic: Multicast, Bits: 0x5}, 2),
+		Packet(Flit{Src: 7, Dst: 0, Traffic: Broadcast}, 16),
+		Packet(Flit{Src: 2, Dst: 3, Traffic: BcastChain, Remain: 9, ChainCCW: true}, 3),
+	} {
+		words, err := EncodePacket(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(bytesOf(words))
+	}
+	f.Add([]byte{1, 2, 3}) // partial word
+	f.Fuzz(func(t *testing.T, data []byte) {
+		words := wordsOf(data)
+		p, err := DecodePacket(words)
+		if err != nil {
+			return // rejected without panicking: fine
+		}
+		if err := Validate(p); err != nil {
+			t.Fatalf("decoded packet fails Validate: %v", err)
+		}
+		words2, err := EncodePacket(p)
+		if err != nil {
+			t.Fatalf("decoded packet cannot re-encode: %v", err)
+		}
+		if len(words2) != len(words) {
+			t.Fatalf("re-encoded %d words, want %d", len(words2), len(words))
+		}
+		for i := range words {
+			if words[i] != words2[i] {
+				t.Fatalf("word %d: round trip %#x -> %#x", i, words[i], words2[i])
+			}
+		}
+	})
+}

@@ -9,10 +9,13 @@ import (
 	"strings"
 )
 
-// Curve is one plotted series.
+// Curve is one plotted series. Err, when non-nil, holds a symmetric error
+// half-width per point (e.g. a 95% confidence interval across replicates)
+// rendered as vertical whiskers around the marker.
 type Curve struct {
 	Name   string
 	X, Y   []float64
+	Err    []float64
 	Marker byte
 }
 
@@ -36,7 +39,11 @@ func Chart(title string, curves []Curve, width, height int) string {
 			any = true
 			minX = math.Min(minX, c.X[i])
 			maxX = math.Max(maxX, c.X[i])
-			maxY = math.Max(maxY, c.Y[i])
+			top := c.Y[i]
+			if i < len(c.Err) && c.Err[i] > 0 {
+				top += c.Err[i] // leave room for the upper whisker
+			}
+			maxY = math.Max(maxY, top)
 		}
 	}
 	if !any {
@@ -52,20 +59,42 @@ func Chart(title string, curves []Curve, width, height int) string {
 	for r := range grid {
 		grid[r] = []byte(strings.Repeat(" ", width))
 	}
+	rowOf := func(y float64) int {
+		if math.IsInf(y, 1) || math.IsNaN(y) || y > maxY {
+			return 0 // clip to top: saturated
+		}
+		return int(math.Round((maxY - y) / (maxY - minY) * float64(height-1)))
+	}
+	colOf := func(x float64) int {
+		return int(math.Round((x - minX) / (maxX - minX) * float64(width-1)))
+	}
+	// Whiskers first so markers overwrite them where they coincide.
+	for _, c := range curves {
+		for i := range c.X {
+			if i >= len(c.Err) || c.Err[i] <= 0 ||
+				math.IsInf(c.Y[i], 0) || math.IsNaN(c.Y[i]) {
+				continue
+			}
+			col := colOf(c.X[i])
+			if col < 0 || col >= width {
+				continue
+			}
+			lo, hi := rowOf(c.Y[i]+c.Err[i]), rowOf(c.Y[i]-c.Err[i])
+			for r := lo; r <= hi; r++ {
+				if r >= 0 && r < height && grid[r][col] == ' ' {
+					grid[r][col] = '|'
+				}
+			}
+		}
+	}
 	for _, c := range curves {
 		mark := c.Marker
 		if mark == 0 {
 			mark = '*'
 		}
 		for i := range c.X {
-			y := c.Y[i]
-			row := 0
-			if math.IsInf(y, 1) || math.IsNaN(y) || y > maxY {
-				row = 0 // clip to top: saturated
-			} else {
-				row = int(math.Round((maxY - y) / (maxY - minY) * float64(height-1)))
-			}
-			col := int(math.Round((c.X[i] - minX) / (maxX - minX) * float64(width-1)))
+			row := rowOf(c.Y[i])
+			col := colOf(c.X[i])
 			if row >= 0 && row < height && col >= 0 && col < width {
 				grid[row][col] = mark
 			}

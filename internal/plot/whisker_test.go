@@ -1,0 +1,52 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartDrawsWhiskers(t *testing.T) {
+	c := Curve{
+		Name:   "latency",
+		X:      []float64{0, 1, 2},
+		Y:      []float64{10, 50, 90},
+		Err:    []float64{0, 30, 0},
+		Marker: 'q',
+	}
+	out := Chart("t", []Curve{c}, 40, 20)
+	if !strings.Contains(out, "|") {
+		t.Fatalf("no whisker drawn:\n%s", out)
+	}
+	// The whisker column must hold the marker with '|' above and below it.
+	lines := strings.Split(out, "\n")
+	col := -1
+	markerRow := -1
+	for r, line := range lines {
+		if i := strings.IndexByte(line, 'q'); i >= 0 && strings.Count(line, "q") == 1 &&
+			r > 0 && r < len(lines)-1 {
+			// Middle point's column: find the 'q' with whiskers around it.
+			above := lines[r-1]
+			below := lines[r+1]
+			if i < len(above) && above[i] == '|' && i < len(below) && below[i] == '|' {
+				col, markerRow = i, r
+				break
+			}
+		}
+	}
+	if col < 0 || markerRow < 0 {
+		t.Fatalf("no marker flanked by whiskers:\n%s", out)
+	}
+}
+
+func TestChartNoErrNoWhiskers(t *testing.T) {
+	c := Curve{Name: "latency", X: []float64{0, 1}, Y: []float64{10, 20}, Marker: 'q'}
+	out := Chart("t", []Curve{c}, 40, 10)
+	// The axis uses '|' as the left border; strip it before checking.
+	for _, line := range strings.Split(out, "\n") {
+		if i := strings.IndexByte(line, '|'); i >= 0 {
+			if strings.ContainsRune(line[i+1:], '|') {
+				t.Fatalf("whisker drawn without Err:\n%s", out)
+			}
+		}
+	}
+}

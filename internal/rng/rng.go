@@ -24,6 +24,22 @@ func SplitMix64(state *uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// Derive folds a sequence of identifiers into an experiment seed and returns
+// a well-distributed subordinate seed. It is the hierarchical analogue of
+// New's (seed, stream) construction: Derive(seed, a, b, c) depends on every
+// part and on their order, so a sweep can give each design point — e.g.
+// (topology, rate index, replicate) — its own independent seed while staying
+// bit-for-bit reproducible for a fixed base seed.
+func Derive(seed uint64, parts ...uint64) uint64 {
+	mix := seed
+	out := SplitMix64(&mix)
+	for _, p := range parts {
+		mix ^= (p + 1) * 0xD1342543DE82EF95
+		out = SplitMix64(&mix)
+	}
+	return out
+}
+
 // Stream is a PCG32 generator. The zero value is not usable; construct
 // streams with New.
 type Stream struct {

@@ -1,0 +1,37 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeanCI95(t *testing.T) {
+	approx := func(got, want float64) bool { return math.Abs(got-want) < 1e-12 }
+
+	mean, ci := MeanCI95(nil)
+	if mean != 0 || ci != 0 {
+		t.Fatalf("empty: got %v ± %v", mean, ci)
+	}
+	mean, ci = MeanCI95([]float64{3})
+	if !approx(mean, 3) || ci != 0 {
+		t.Fatalf("singleton: got %v ± %v", mean, ci)
+	}
+	// {10, 12, 14}: mean 12, sd 2, half-width 1.96*2/sqrt(3).
+	mean, ci = MeanCI95([]float64{10, 12, 14})
+	if !approx(mean, 12) || !approx(ci, 1.96*2/math.Sqrt(3)) {
+		t.Fatalf("got %v ± %v", mean, ci)
+	}
+}
+
+func TestMeanCI95MatchesAccumulator(t *testing.T) {
+	xs := []float64{1.5, 2.25, -3, 8, 0.125}
+	var a Accumulator
+	for _, x := range xs {
+		a.Add(x)
+	}
+	mean, ci := MeanCI95(xs)
+	if mean != a.Mean() || ci != a.CI95() {
+		t.Fatalf("MeanCI95 diverges from Accumulator: %v ± %v vs %v ± %v",
+			mean, ci, a.Mean(), a.CI95())
+	}
+}

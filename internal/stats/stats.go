@@ -160,6 +160,19 @@ func (s *Series) SaturationPoint() float64 {
 	return math.Inf(1)
 }
 
+// MeanCI95 returns the sample mean of xs and the half-width of its 95%
+// confidence interval under a normal approximation. It is the replicate
+// aggregator of the sweep engine: each x is the point estimate of one
+// independent replicate, and the CI quantifies across-replicate spread.
+// Fewer than two samples yield a zero half-width.
+func MeanCI95(xs []float64) (mean, ci95 float64) {
+	var a Accumulator
+	for _, x := range xs {
+		a.Add(x)
+	}
+	return a.Mean(), a.CI95()
+}
+
 // SaturationDetector decides whether an open-loop run is beyond saturation
 // by watching the total source backlog: in a stable system the backlog is
 // ergodic, while past saturation it grows without bound. The detector

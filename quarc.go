@@ -79,9 +79,31 @@ func DefaultOpts() RunOpts { return experiments.DefaultOpts() }
 func FastOpts() RunOpts    { return experiments.FastOpts() }
 
 // RunPanel sweeps one figure panel over offered load for both the Quarc and
-// the Spidergon.
+// the Spidergon, fanning the independent (topology, rate, replicate) points
+// across RunOpts.Workers goroutines. RunOpts.Replicates runs each point
+// several times with independent seeds and aggregates mean ± 95% CI. For a
+// fixed RunOpts.Seed the result is bit-identical to RunPanelSerial.
 func RunPanel(spec PanelSpec, opts RunOpts) (PanelResult, error) {
 	return experiments.RunPanel(spec, opts)
+}
+
+// RunPanelSerial is RunPanel on a single goroutine — the reference execution
+// the parallel engine is tested against.
+func RunPanelSerial(spec PanelSpec, opts RunOpts) (PanelResult, error) {
+	return experiments.RunPanelSerial(spec, opts)
+}
+
+// RunReplicated executes one configuration several times with independent
+// derived seeds (in parallel across workers; 0 means GOMAXPROCS) and returns
+// the mean ± CI aggregate alongside the per-replicate results.
+func RunReplicated(cfg Config, replicates, workers int) (Result, []Result, error) {
+	return experiments.RunReplicated(cfg, replicates, workers)
+}
+
+// PointSeed derives the deterministic seed of a sweep design point from an
+// experiment-level base seed.
+func PointSeed(base uint64, topo Topology, rateIndex, replicate int) uint64 {
+	return experiments.PointSeed(base, topo, rateIndex, replicate)
 }
 
 // Direct fabric access. Fabric is the assembled network; Step advances one
