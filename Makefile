@@ -1,7 +1,11 @@
 GO ?= go
 FUZZTIME ?= 10s
+SERVE_ADDR ?= :8080
+LOAD_ADDR ?= 127.0.0.1:8091
+LOAD_N ?= 200
+LOAD_C ?= 8
 
-.PHONY: all build test race fuzz-short bench fmt vet check
+.PHONY: all build test race fuzz-short bench fmt vet check serve loadtest
 
 all: check
 
@@ -21,6 +25,20 @@ fuzz-short:
 
 bench:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...
+
+# Run the simulation-as-a-service daemon in the foreground.
+serve:
+	$(GO) run ./cmd/quarcd -addr $(SERVE_ADDR)
+
+# Closed-loop serving benchmark: start a throwaway daemon, hammer it with
+# quarcload, and tear it down. Fails unless every request succeeds.
+loadtest:
+	@mkdir -p bin
+	$(GO) build -o bin/quarcd ./cmd/quarcd
+	$(GO) build -o bin/quarcload ./cmd/quarcload
+	@./bin/quarcd -addr $(LOAD_ADDR) -quiet & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null' EXIT; \
+	./bin/quarcload -addr http://$(LOAD_ADDR) -n $(LOAD_N) -c $(LOAD_C)
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

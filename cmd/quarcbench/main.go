@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +21,7 @@ import (
 	"time"
 
 	"quarc/internal/experiments"
+	"quarc/internal/service"
 )
 
 func main() {
@@ -32,9 +34,24 @@ func main() {
 			"independent replicates per sweep point (mean ± 95% CI aggregation)")
 		workers = flag.Int("workers", 0,
 			"sweep goroutines (0 = GOMAXPROCS); never changes the results")
-		serial = flag.Bool("serial", false, "run panel sweeps on a single goroutine")
+		serial  = flag.Bool("serial", false, "run panel sweeps on a single goroutine")
+		jsonOut = flag.Bool("json", false,
+			"emit fig9/fig10/fig11 panels as NDJSON in the quarcd wire schema instead of tables")
 	)
 	flag.Parse()
+	if *jsonOut {
+		switch *which {
+		case "fig9", "fig10", "fig11":
+		case "all":
+			// Keep stdout pure NDJSON: under -json, "all" means the three
+			// panel sweeps; the text-only experiments are skipped.
+			fmt.Fprintln(os.Stderr, "quarcbench: -json: running the fig9/fig10/fig11 "+
+				"panel sweeps only (the other experiments have no JSON form)")
+		default:
+			fmt.Fprintf(os.Stderr, "quarcbench: note: -json applies to the fig9/fig10/fig11 "+
+				"panel sweeps; %q keeps its text output\n", *which)
+		}
+	}
 
 	opts := experiments.DefaultOpts()
 	if *fast {
@@ -63,8 +80,15 @@ func main() {
 				fmt.Fprintf(os.Stderr, "quarcbench: %s: %v\n", name, err)
 				os.Exit(1)
 			}
-			fmt.Println(pr.Render())
-			fmt.Printf("(panel swept in %.1fs)\n\n", time.Since(start).Seconds())
+			if *jsonOut {
+				if err := json.NewEncoder(os.Stdout).Encode(service.EncodePanel(pr)); err != nil {
+					fmt.Fprintf(os.Stderr, "quarcbench: %s: %v\n", name, err)
+					os.Exit(1)
+				}
+			} else {
+				fmt.Println(pr.Render())
+				fmt.Printf("(panel swept in %.1fs)\n\n", time.Since(start).Seconds())
+			}
 			if *csvDir != "" {
 				if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 					fmt.Fprintf(os.Stderr, "quarcbench: %v\n", err)
@@ -81,15 +105,23 @@ func main() {
 					os.Exit(1)
 				}
 				f.Close()
-				fmt.Printf("(csv written to %s)\n\n", path)
+				if *jsonOut {
+					fmt.Fprintf(os.Stderr, "(csv written to %s)\n", path)
+				} else {
+					fmt.Printf("(csv written to %s)\n\n", path)
+				}
 			}
 		}
 	}
 
 	did := false
+	panelExperiments := map[string]bool{"fig9": true, "fig10": true, "fig11": true}
 	want := func(names ...string) bool {
 		for _, n := range names {
 			if *which == n || *which == "all" {
+				if *jsonOut && *which == "all" && !panelExperiments[n] {
+					return false // -json keeps stdout pure NDJSON
+				}
 				did = true
 				return true
 			}

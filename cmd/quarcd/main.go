@@ -1,0 +1,78 @@
+// Command quarcd serves the simulator over a JSON HTTP API: submit single
+// runs (POST /v1/runs) or figure-panel sweeps (POST /v1/panels), poll or wait
+// on jobs (GET /v1/jobs/{id}?wait=1), stream per-point progress as NDJSON
+// (GET /v1/jobs/{id}/events), cancel (POST /v1/jobs/{id}/cancel), and scrape
+// operational counters (GET /metrics). Identical requests are served
+// bit-identically from a content-addressed LRU result cache.
+//
+// Examples:
+//
+//	quarcd -addr :8080
+//	curl -s localhost:8080/v1/runs?wait=1 -d '{"n":16,"rate":0.01,"beta":0.05}'
+//	curl -s localhost:8080/v1/panels -d '{"n":16,"beta":0.05,"opts":{"replicates":3}}'
+//	curl -N localhost:8080/v1/jobs/j000001/events
+//	curl -s localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"quarc/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 2, "jobs executing concurrently (each sweep additionally fans across its own goroutines)")
+		queueCap     = flag.Int("queue", 256, "max queued jobs before submissions get 503")
+		cacheEntries = flag.Int("cache", 1024, "result-cache capacity (entries)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to finish queued and running jobs on shutdown")
+		quiet        = flag.Bool("quiet", false, "suppress per-job log lines")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "quarcd: ", log.LstdFlags)
+	jobLog := logger
+	if *quiet {
+		jobLog = nil
+	}
+	svc := service.New(service.Config{
+		Workers: *workers, QueueCap: *queueCap, CacheEntries: *cacheEntries, Log: jobLog,
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	logger.Printf("listening on %s (%d executors, queue %d, cache %d entries)",
+		*addr, *workers, *queueCap, *cacheEntries)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		logger.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	logger.Printf("shutting down: draining jobs (up to %v)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	if err := svc.Drain(drainCtx); err != nil {
+		logger.Printf("drain incomplete, cancelled remaining jobs: %v", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Printf("serve: %v", err)
+	}
+	logger.Printf("bye")
+}

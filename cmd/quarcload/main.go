@@ -1,0 +1,192 @@
+// Command quarcload is a closed-loop load generator for quarcd: a pool of
+// concurrent clients submits single-run jobs with ?wait=1, mixing requests
+// that share a small pool of hot seeds (cache hits after first touch) with
+// unique-seed requests (forced simulations), then reports throughput,
+// latency percentiles, cache-hit and success rates. It exits non-zero unless
+// every request succeeded, so CI can use a burst as a serving smoke test.
+//
+// Examples:
+//
+//	quarcload -addr http://127.0.0.1:8080 -n 200 -c 8
+//	quarcload -addr http://127.0.0.1:8080 -n 50 -c 4 -cached 0
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"quarc/internal/service"
+	"quarc/internal/stats"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:8080", "quarcd base URL")
+		total    = flag.Int("n", 200, "total requests")
+		conc     = flag.Int("c", 8, "concurrent clients")
+		cached   = flag.Float64("cached", 0.5, "fraction of requests drawn from the hot-seed pool (cacheable)")
+		hotSeeds = flag.Int("hot-seeds", 4, "distinct seeds in the hot pool")
+		nodes    = flag.Int("nodes", 8, "nodes per simulated network")
+		rate     = flag.Float64("rate", 0.005, "offered load per request")
+		measure  = flag.Int64("measure", 1000, "measured cycles per request")
+		timeout  = flag.Duration("timeout", 60*time.Second, "per-request timeout")
+		ready    = flag.Duration("ready-timeout", 10*time.Second, "how long to wait for the daemon to answer /healthz")
+	)
+	flag.Parse()
+	if *total < 1 || *conc < 1 || *hotSeeds < 1 {
+		fmt.Fprintln(os.Stderr, "quarcload: -n, -c and -hot-seeds must be positive")
+		os.Exit(2)
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	if err := waitReady(client, *addr, *ready); err != nil {
+		fmt.Fprintf(os.Stderr, "quarcload: daemon not ready: %v\n", err)
+		os.Exit(1)
+	}
+
+	type sample struct {
+		latency time.Duration
+		cached  bool
+		err     error
+	}
+	samples := make([]sample, *total)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= *total {
+					return
+				}
+				req := service.RunRequest{
+					Topo: "quarc", N: *nodes, MsgLen: 4, Beta: 0.05, Rate: *rate,
+					Warmup: 200, Measure: *measure, Drain: 5000,
+				}
+				// Deterministic, evenly interleaved hot/cold split: request i
+				// is hot when the running count of hot requests should grow
+				// (Bresenham-style), so any -n yields round(n*frac) hot
+				// requests spread across the run rather than front-loaded.
+				// Hot requests cycle through the seed pool by hot ordinal.
+				hotOrdinal := int(float64(i) * (*cached))
+				if int(float64(i+1)*(*cached)) > hotOrdinal {
+					req.Seed = 1000 + uint64(hotOrdinal%*hotSeeds)
+				} else {
+					req.Seed = 0xC01D_0000 + uint64(i)
+				}
+				t0 := time.Now()
+				hit, err := post(client, *addr, req)
+				samples[i] = sample{latency: time.Since(t0), cached: hit, err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var ok, hits int
+	var lats []float64
+	var firstErr error
+	for _, s := range samples {
+		if s.err != nil {
+			if firstErr == nil {
+				firstErr = s.err
+			}
+			continue
+		}
+		ok++
+		if s.cached {
+			hits++
+		}
+		lats = append(lats, float64(s.latency.Microseconds())/1000.0)
+	}
+	sort.Float64s(lats)
+
+	fmt.Printf("requests        %d (%d clients, closed loop)\n", *total, *conc)
+	fmt.Printf("elapsed         %.2fs\n", elapsed.Seconds())
+	fmt.Printf("throughput      %.1f req/s\n", float64(*total)/elapsed.Seconds())
+	fmt.Printf("success rate    %.2f%% (%d/%d)\n", 100*float64(ok)/float64(*total), ok, *total)
+	fmt.Printf("cached          %.2f%% of successes (%d)\n", pct(hits, ok), hits)
+	if len(lats) > 0 {
+		fmt.Printf("latency p50     %.2f ms\n", stats.Percentile(lats, 50))
+		fmt.Printf("latency p95     %.2f ms\n", stats.Percentile(lats, 95))
+		fmt.Printf("latency p99     %.2f ms\n", stats.Percentile(lats, 99))
+		fmt.Printf("latency max     %.2f ms\n", lats[len(lats)-1])
+	}
+	if ok != *total {
+		fmt.Fprintf(os.Stderr, "quarcload: %d/%d requests failed; first error: %v\n",
+			*total-ok, *total, firstErr)
+		os.Exit(1)
+	}
+}
+
+func pct(part, whole int) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}
+
+// waitReady polls /healthz until the daemon answers.
+func waitReady(client *http.Client, addr string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(addr + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			lastErr = fmt.Errorf("healthz: %s", resp.Status)
+		} else {
+			lastErr = err
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return lastErr
+}
+
+// post submits one run with ?wait=1 and reports whether it was served from
+// cache.
+func post(client *http.Client, addr string, req service.RunRequest) (cached bool, err error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return false, err
+	}
+	resp, err := client.Post(addr+"/v1/runs?wait=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return false, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(data))
+	}
+	var job service.JobJSON
+	if err := json.Unmarshal(data, &job); err != nil {
+		return false, fmt.Errorf("decode job: %w", err)
+	}
+	if job.State != service.StateDone {
+		return false, fmt.Errorf("job %s finished %s: %s", job.ID, job.State, job.Error)
+	}
+	if len(job.Result) == 0 {
+		return false, fmt.Errorf("job %s done without result", job.ID)
+	}
+	return job.Cached, nil
+}

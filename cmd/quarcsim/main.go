@@ -9,12 +9,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"quarc"
+	"quarc/internal/service"
 )
 
 func main() {
@@ -33,32 +34,20 @@ func main() {
 		replicates = flag.Int("replicates", 1,
 			"independent replicates with derived seeds; >1 reports mean ± 95% CI across them")
 		workers = flag.Int("workers", 0, "replicate goroutines (0 = GOMAXPROCS)")
+		jsonOut = flag.Bool("json", false,
+			"emit the result as JSON in the quarcd wire schema instead of text")
 	)
 	flag.Parse()
 
-	topos := map[string]quarc.Topology{
-		"quarc":            quarc.TopoQuarc,
-		"spidergon":        quarc.TopoSpidergon,
-		"quarc-chainbcast": quarc.TopoQuarcChainBcast,
-		"quarc-1queue":     quarc.TopoQuarcSingleQueue,
-		"mesh":             quarc.TopoMesh,
-		"torus":            quarc.TopoTorus,
-	}
-	topo, ok := topos[strings.ToLower(*topoName)]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "quarcsim: unknown topology %q\n", *topoName)
+	// The wire vocabulary lives in one place: the service schema.
+	topo, err := service.ParseTopology(*topoName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "quarcsim: %v\n", err)
 		os.Exit(2)
 	}
-	patterns := map[string]quarc.Pattern{
-		"uniform":    quarc.Uniform,
-		"hotspot":    quarc.Hotspot,
-		"antipodal":  quarc.Antipodal,
-		"neighbor":   quarc.NearestNeighbor,
-		"bitreverse": quarc.BitReverse,
-	}
-	pat, ok := patterns[strings.ToLower(*pattern)]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "quarcsim: unknown pattern %q\n", *pattern)
+	pat, err := service.ParsePattern(*pattern)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "quarcsim: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -72,6 +61,19 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		if err := enc.Encode(service.EncodeRun(res, reps)); err != nil {
+			fmt.Fprintf(os.Stderr, "quarcsim: %v\n", err)
+			os.Exit(1)
+		}
+		if res.Duplicates > 0 {
+			fmt.Fprintf(os.Stderr, "quarcsim: ERROR: %d duplicate deliveries (routing bug)\n", res.Duplicates)
+			os.Exit(1)
+		}
+		return
+	}
+
 	fmt.Printf("topology        %v\n", topo)
 	fmt.Printf("nodes           %d\n", *n)
 	fmt.Printf("message length  %d flits\n", *m)
@@ -81,9 +83,15 @@ func main() {
 	fmt.Printf("offered load    %.5f msgs/node/cycle (beta=%.0f%%)\n", *rate, *beta*100)
 	fmt.Printf("unicast latency %.2f ± %.2f cycles (%d messages)\n",
 		res.UnicastMean, res.UnicastCI, res.UnicastCount)
+	if res.UnicastCount > 0 {
+		fmt.Printf("unicast tail    p50 %.0f / p95 %.0f / p99 %.0f cycles\n",
+			res.UnicastP50, res.UnicastP95, res.UnicastP99)
+	}
 	if res.BcastCount > 0 {
 		fmt.Printf("bcast completion %.2f ± %.2f cycles (%d broadcasts)\n",
 			res.BcastMean, res.BcastCI, res.BcastCount)
+		fmt.Printf("bcast tail      p50 %.0f / p95 %.0f / p99 %.0f cycles\n",
+			res.BcastP50, res.BcastP95, res.BcastP99)
 		fmt.Printf("bcast per-dest   %.2f cycles mean delivery\n", res.BcastDelivery)
 	}
 	fmt.Printf("throughput      %.4f flits/node/cycle\n", res.Throughput)

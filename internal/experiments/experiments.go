@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -92,23 +93,29 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Result summarises one run.
+// Result summarises one run. The latency quantiles (P50/P95/P99 per traffic
+// class) are histogram upper bounds at one-cycle resolution, computed with
+// stats.Histogram.Quantile over the measured latencies.
 type Result struct {
 	Cfg           Config
 	UnicastMean   float64 // mean tail latency, cycles
 	UnicastCI     float64
+	UnicastP50    float64 // median unicast latency
 	UnicastP95    float64 // 95th percentile unicast latency
 	UnicastP99    float64
 	UnicastCount  int64
 	BcastMean     float64 // mean completion (last destination) latency
 	BcastCI       float64
+	BcastP50      float64
 	BcastP95      float64
+	BcastP99      float64
 	BcastDelivery float64 // mean per-destination delivery latency
 	BcastCount    int64
 	Throughput    float64 // delivered flits/node/cycle in the window
 	Saturated     bool
 	Leftover      int // messages still in flight after the drain budget
 	Duplicates    uint64
+	Cycles        int64 // fabric cycles actually stepped (warmup+measure+drain used)
 }
 
 // node is the adapter surface the harness needs.
@@ -165,8 +172,30 @@ func build(cfg Config) (*network.Fabric, []node, error) {
 	return nil, nil, fmt.Errorf("experiments: unknown topology %v", cfg.Topo)
 }
 
+// WithDefaults returns the configuration with unset fields replaced by their
+// defaults — exactly what Run simulates. The service layer canonicalises
+// requests through it so equivalent configurations share one cache key.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
+// ctxCheckPeriod is how often (in cycles) a cancellable run polls its
+// context: rarely enough to stay off the hot path, often enough that
+// cancellation lands within microseconds of wall time.
+const ctxCheckPeriod = 512
+
+// maxQuantileBuckets bounds the latency-histogram memory per run. Latencies
+// beyond the bucket range land in the overflow bucket and clamp the reported
+// quantile to the observed maximum.
+const maxQuantileBuckets = 1 << 16
+
 // Run executes one configuration and returns its measurements.
-func Run(cfg Config) (Result, error) {
+func Run(cfg Config) (Result, error) { return RunContext(context.Background(), cfg) }
+
+// RunContext is Run with cooperative cancellation: it returns ctx.Err()
+// promptly (within ctxCheckPeriod simulated cycles) once ctx is cancelled,
+// discarding the partial measurements. For a ctx that is never cancelled the
+// result is bit-identical to Run — the context poller observes the kernel
+// without perturbing it.
+func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 	fab, nodes, err := build(cfg)
 	if err != nil {
@@ -174,7 +203,12 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	var uni, bc, bcDeliv stats.Accumulator
-	var uniLats, bcLats []float64
+	nb := cfg.Measure + cfg.Drain + 2
+	if nb > maxQuantileBuckets {
+		nb = maxQuantileBuckets
+	}
+	uniHist := stats.NewHistogram(int(nb), 1)
+	bcHist := stats.NewHistogram(int(nb), 1)
 	measureEnd := cfg.Warmup + cfg.Measure
 	fab.Tracker.OnDone = func(r network.MessageRecord) {
 		if r.Gen < cfg.Warmup || r.Gen >= measureEnd {
@@ -183,10 +217,10 @@ func Run(cfg Config) (Result, error) {
 		switch r.Class {
 		case network.ClassUnicast:
 			uni.Add(float64(r.Last - r.Gen))
-			uniLats = append(uniLats, float64(r.Last-r.Gen))
+			uniHist.Add(float64(r.Last - r.Gen))
 		case network.ClassBroadcast, network.ClassMulticast:
 			bc.Add(float64(r.Last - r.Gen))
-			bcLats = append(bcLats, float64(r.Last-r.Gen))
+			bcHist.Add(float64(r.Last - r.Gen))
 			bcDeliv.Add(float64(r.DeliSum)/float64(r.Delivered) - float64(r.Gen))
 		}
 	}
@@ -232,28 +266,70 @@ func Run(cfg Config) (Result, error) {
 	k.Schedule(cfg.Warmup, sim.PriStats, func(sim.Time) { deliveredAtWarmup = fab.FlitsDelivered() })
 	k.Schedule(measureEnd, sim.PriStats, func(sim.Time) { deliveredAtEnd = fab.FlitsDelivered() })
 
-	k.Run(measureEnd)
-	// Drain: no more traffic; step the fabric until everything lands or the
-	// budget runs out.
-	for i := int64(0); i < cfg.Drain && fab.Tracker.InFlight() > 0; i++ {
-		fab.Step()
+	// Cancellation poller: a pure observer at stats priority, registered only
+	// for cancellable contexts so a background-context run schedules exactly
+	// the events it always did.
+	cancellable := ctx.Done() != nil
+	if cancellable {
+		k.Ticker(0, ctxCheckPeriod, sim.PriStats, func(now sim.Time) bool {
+			if ctx.Err() != nil {
+				k.Stop()
+				return false
+			}
+			return true
+		})
 	}
 
+	k.Run(measureEnd)
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	// Drain: no more traffic; step the fabric until everything lands or the
+	// budget runs out.
+	var drained int64
+	for i := int64(0); i < cfg.Drain && fab.Tracker.InFlight() > 0; i++ {
+		if cancellable && i%ctxCheckPeriod == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
+		fab.Step()
+		drained++
+	}
+
+	// Latencies are integer cycle counts in width-1 buckets, so bucket i
+	// holds only the value i and Quantile's upper bound (i+1) overshoots by
+	// exactly one: subtracting the width recovers the exact order statistic.
+	// A quantile landing in the overflow bucket clamps to the observed max.
+	quant := func(h *stats.Histogram, a *stats.Accumulator, q float64) float64 {
+		if a.Count() == 0 {
+			return 0
+		}
+		v := h.Quantile(q)
+		if math.IsInf(v, 1) {
+			return a.Max()
+		}
+		return v - 1
+	}
 	res := Result{
 		Cfg:           cfg,
 		UnicastMean:   uni.Mean(),
 		UnicastCI:     uni.CI95(),
-		UnicastP95:    stats.Percentile(uniLats, 95),
-		UnicastP99:    stats.Percentile(uniLats, 99),
+		UnicastP50:    quant(uniHist, &uni, 0.50),
+		UnicastP95:    quant(uniHist, &uni, 0.95),
+		UnicastP99:    quant(uniHist, &uni, 0.99),
 		UnicastCount:  uni.Count(),
 		BcastMean:     bc.Mean(),
 		BcastCI:       bc.CI95(),
-		BcastP95:      stats.Percentile(bcLats, 95),
+		BcastP50:      quant(bcHist, &bc, 0.50),
+		BcastP95:      quant(bcHist, &bc, 0.95),
+		BcastP99:      quant(bcHist, &bc, 0.99),
 		BcastDelivery: bcDeliv.Mean(),
 		BcastCount:    bc.Count(),
 		Throughput:    float64(deliveredAtEnd-deliveredAtWarmup) / float64(cfg.N) / float64(cfg.Measure),
 		Leftover:      fab.Tracker.InFlight(),
 		Duplicates:    fab.Tracker.Duplicates(),
+		Cycles:        measureEnd + drained,
 	}
 	res.Saturated = det.Saturated() || res.Leftover > 0
 	return res, nil

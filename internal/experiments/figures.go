@@ -35,6 +35,10 @@ type RunOpts struct {
 	// Workers bounds the sweep goroutines; 0 means GOMAXPROCS. The result
 	// does not depend on it.
 	Workers int
+	// OnPointDone, if non-nil, is invoked as each design point of a sweep
+	// completes — possibly concurrently from several worker goroutines. It
+	// observes progress only; the sweep's results never depend on it.
+	OnPointDone func(PointDone) `json:"-"`
 }
 
 // DefaultOpts is the full-fidelity configuration used by cmd/quarcbench.

@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -18,6 +19,19 @@ import (
 	"quarc/internal/rng"
 	"quarc/internal/stats"
 )
+
+// PointDone describes one completed design point of a sweep. It is delivered
+// to RunOpts.OnPointDone as each point finishes, so long sweeps can stream
+// progress (the quarcd daemon turns these into NDJSON events).
+type PointDone struct {
+	Index     int // position in the sweep's deterministic point order
+	Total     int // total points in the sweep
+	Topo      Topology
+	RateIndex int
+	Replicate int
+	Rate      float64
+	Result    Result
+}
 
 // panelTopologies is the architecture pair swept by every figure panel.
 var panelTopologies = []Topology{TopoQuarc, TopoSpidergon}
@@ -52,9 +66,12 @@ func (o RunOpts) normalized() RunOpts {
 
 // sweepRun executes every point on a pool of workers goroutines. Results are
 // written into a slot per point, so the returned order is the input order
-// regardless of which worker finished when. The first error (in point order)
-// is returned after all workers stop.
-func sweepRun(points []sweepPoint, workers int) ([]Result, error) {
+// regardless of which worker finished when. A cancelled context stops the
+// workers from picking up further points and aborts the points in flight;
+// otherwise the first error (in point order) is returned after all workers
+// stop. onDone, if non-nil, is called with (point index, result) as each
+// point completes — concurrently, from the worker goroutines.
+func sweepRun(ctx context.Context, points []sweepPoint, workers int, onDone func(int, Result)) ([]Result, error) {
 	results := make([]Result, len(points))
 	errs := make([]error, len(points))
 	if workers > len(points) {
@@ -66,22 +83,45 @@ func sweepRun(points []sweepPoint, workers int) ([]Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= len(points) {
 					return
 				}
-				results[i], errs[i] = Run(points[i].Cfg)
+				results[i], errs[i] = RunContext(ctx, points[i].Cfg)
+				if errs[i] == nil && onDone != nil {
+					onDone(i, results[i])
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return results, err
 		}
 	}
 	return results, nil
+}
+
+// pointNotifier adapts a PointDone callback to sweepRun's (index, result)
+// signature, filling in the point identity from the expanded point list.
+func pointNotifier(onDone func(PointDone), points []sweepPoint) func(int, Result) {
+	if onDone == nil {
+		return nil
+	}
+	total := len(points)
+	return func(i int, res Result) {
+		p := points[i]
+		onDone(PointDone{
+			Index: i, Total: total,
+			Topo: p.Topo, RateIndex: p.RateIndex, Replicate: p.Replicate,
+			Rate: p.Cfg.Rate, Result: res,
+		})
+	}
 }
 
 // panelPoints expands a panel spec into its design points, ordered topology-
@@ -116,7 +156,9 @@ func panelPoints(spec PanelSpec, opts RunOpts) ([]sweepPoint, []float64) {
 // become the 95% confidence half-width of those replicate means (the
 // standard independent-replications estimator); percentile and throughput
 // fields are averaged, counts are summed, and the point counts as saturated
-// if any replicate saturated. Cfg is replicate 0's configuration.
+// if any replicate saturated. Cfg is replicate 0's configuration; callers
+// that know the experiment-level seed overwrite Cfg.Seed with it, so an
+// aggregate echoes the seed that was requested, not a derived one.
 func aggregateReplicates(reps []Result) Result {
 	if len(reps) == 0 {
 		return Result{}
@@ -147,19 +189,23 @@ func aggregateReplicates(reps []Result) Result {
 	agg := reps[0]
 	agg.UnicastMean, agg.UnicastCI = stats.MeanCI95(collect(hasUni, func(r Result) float64 { return r.UnicastMean }))
 	agg.BcastMean, agg.BcastCI = stats.MeanCI95(collect(hasBc, func(r Result) float64 { return r.BcastMean }))
+	agg.UnicastP50 = avg(hasUni, func(r Result) float64 { return r.UnicastP50 })
 	agg.UnicastP95 = avg(hasUni, func(r Result) float64 { return r.UnicastP95 })
 	agg.UnicastP99 = avg(hasUni, func(r Result) float64 { return r.UnicastP99 })
+	agg.BcastP50 = avg(hasBc, func(r Result) float64 { return r.BcastP50 })
 	agg.BcastP95 = avg(hasBc, func(r Result) float64 { return r.BcastP95 })
+	agg.BcastP99 = avg(hasBc, func(r Result) float64 { return r.BcastP99 })
 	agg.BcastDelivery = avg(hasBc, func(r Result) float64 { return r.BcastDelivery })
 	agg.Throughput = avg(always, func(r Result) float64 { return r.Throughput })
 	agg.UnicastCount, agg.BcastCount = 0, 0
-	agg.Leftover, agg.Duplicates, agg.Saturated = 0, 0, false
+	agg.Leftover, agg.Duplicates, agg.Saturated, agg.Cycles = 0, 0, false, 0
 	for _, r := range reps {
 		agg.UnicastCount += r.UnicastCount
 		agg.BcastCount += r.BcastCount
 		agg.Leftover += r.Leftover
 		agg.Duplicates += r.Duplicates
 		agg.Saturated = agg.Saturated || r.Saturated
+		agg.Cycles += r.Cycles
 	}
 	return agg
 }
@@ -185,6 +231,9 @@ func assemblePanel(spec PanelSpec, opts RunOpts, rates []float64, results []Resu
 			reps := append([]Result(nil), results[base:base+opts.Replicates]...)
 			pr.Raw[topo] = append(pr.Raw[topo], reps)
 			res := aggregateReplicates(reps)
+			// Aggregated rows echo the sweep-level seed the caller chose;
+			// the per-replicate derived seeds stay visible in Raw.
+			res.Cfg.Seed = opts.Seed
 			pr.Results[topo] = append(pr.Results[topo], res)
 			switch topo {
 			case TopoQuarc:
@@ -207,22 +256,39 @@ func assemblePanel(spec PanelSpec, opts RunOpts, rates []float64, results []Resu
 // (topology, rate, replicate) points across RunOpts.Workers goroutines. For
 // a fixed RunOpts.Seed the result is bit-identical to RunPanelSerial.
 func RunPanel(spec PanelSpec, opts RunOpts) (PanelResult, error) {
+	return RunPanelContext(context.Background(), spec, opts)
+}
+
+// RunPanelContext is RunPanel with cooperative cancellation: once ctx is
+// cancelled no further points start, points in flight abort promptly, and
+// ctx.Err() is returned. Neither the context nor RunOpts.OnPointDone ever
+// changes the results.
+func RunPanelContext(ctx context.Context, spec PanelSpec, opts RunOpts) (PanelResult, error) {
 	opts = opts.normalized()
 	points, rates := panelPoints(spec, opts)
-	results, err := sweepRun(points, opts.Workers)
+	results, err := sweepRun(ctx, points, opts.Workers, pointNotifier(opts.OnPointDone, points))
 	if err != nil {
 		return PanelResult{Spec: spec, RatesSwept: rates}, err
 	}
 	return assemblePanel(spec, opts, rates, results), nil
 }
 
+// PanelPointCount returns the number of design points RunPanel will execute
+// for this spec and options — what a sweep's progress is measured against.
+func PanelPointCount(spec PanelSpec, opts RunOpts) int {
+	opts = opts.normalized()
+	points, _ := panelPoints(spec, opts)
+	return len(points)
+}
+
 // RunPanelSerial is RunPanel without the worker pool: the same points in the
 // same order on the calling goroutine. It exists so tests (and debugging
 // sessions) can compare the parallel engine against a plainly sequential
-// execution.
+// execution. RunOpts.OnPointDone fires here too, in point order.
 func RunPanelSerial(spec PanelSpec, opts RunOpts) (PanelResult, error) {
 	opts = opts.normalized()
 	points, rates := panelPoints(spec, opts)
+	notify := pointNotifier(opts.OnPointDone, points)
 	results := make([]Result, len(points))
 	for i, p := range points {
 		res, err := Run(p.Cfg)
@@ -230,6 +296,9 @@ func RunPanelSerial(spec PanelSpec, opts RunOpts) (PanelResult, error) {
 			return PanelResult{Spec: spec, RatesSwept: rates}, err
 		}
 		results[i] = res
+		if notify != nil {
+			notify(i, res)
+		}
 	}
 	return assemblePanel(spec, opts, rates, results), nil
 }
@@ -239,11 +308,20 @@ func RunPanelSerial(spec PanelSpec, opts RunOpts) (PanelResult, error) {
 // returns the aggregate alongside the per-replicate results. With one
 // replicate it is exactly Run(cfg): the seed is used as given.
 func RunReplicated(cfg Config, replicates, workers int) (Result, []Result, error) {
+	return RunReplicatedContext(context.Background(), cfg, replicates, workers, nil)
+}
+
+// RunReplicatedContext is RunReplicated with cooperative cancellation and an
+// optional per-replicate completion callback (concurrent, like a sweep's).
+func RunReplicatedContext(ctx context.Context, cfg Config, replicates, workers int, onDone func(PointDone)) (Result, []Result, error) {
 	if replicates < 1 {
 		replicates = 1
 	}
 	if replicates == 1 {
-		res, err := Run(cfg)
+		res, err := RunContext(ctx, cfg)
+		if err == nil && onDone != nil {
+			onDone(PointDone{Index: 0, Total: 1, Topo: cfg.Topo, Rate: cfg.Rate, Result: res})
+		}
 		return res, []Result{res}, err
 	}
 	if workers < 1 {
@@ -255,11 +333,13 @@ func RunReplicated(cfg Config, replicates, workers int) (Result, []Result, error
 		c.Seed = PointSeed(cfg.Seed, cfg.Topo, 0, rep)
 		points[rep] = sweepPoint{Cfg: c, Topo: cfg.Topo, Replicate: rep}
 	}
-	results, err := sweepRun(points, workers)
+	results, err := sweepRun(ctx, points, workers, pointNotifier(onDone, points))
 	if err != nil {
 		return Result{}, nil, err
 	}
-	return aggregateReplicates(results), results, nil
+	agg := aggregateReplicates(results)
+	agg.Cfg.Seed = cfg.Seed // echo the requested seed, not replicate 0's derived one
+	return agg, results, nil
 }
 
 // String renders a sweep point compactly for diagnostics.

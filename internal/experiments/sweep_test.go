@@ -188,7 +188,9 @@ func TestRunPanelReplicatesShape(t *testing.T) {
 				t.Fatalf("%v rate %d: replicates share seeds", topo, ri)
 			}
 			agg := pr.Results[topo][ri]
-			if want := aggregateReplicates(reps); !reflect.DeepEqual(agg, want) {
+			want := aggregateReplicates(reps)
+			want.Cfg.Seed = opts.Seed // panels echo the sweep-level seed
+			if !reflect.DeepEqual(agg, want) {
 				t.Fatalf("%v rate %d: stored aggregate mismatches recomputation", topo, ri)
 			}
 		}

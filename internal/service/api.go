@@ -1,0 +1,366 @@
+// Package service turns the simulator into a long-running
+// simulation-as-a-service daemon: a stdlib-only JSON HTTP API that accepts
+// single-run and figure-panel jobs, executes them on a bounded scheduler over
+// the parallel sweep engine, caches results content-addressed by a canonical
+// request hash, streams per-point progress as NDJSON, and exposes operational
+// metrics. cmd/quarcd wraps it in a process; cmd/quarcload drives it under
+// load.
+//
+// This file defines the wire schema. The same encoding types are used by the
+// CLIs' -json output, so a result printed by quarcsim and a result returned
+// by quarcd are byte-compatible.
+package service
+
+import (
+	"fmt"
+	"strings"
+
+	"quarc/internal/experiments"
+	"quarc/internal/traffic"
+)
+
+// Request guardrails: a serving daemon must bound the work a single request
+// can demand. The caps are generous for the paper's configurations (N <= 64,
+// tens of thousands of cycles) while keeping one request from monopolising
+// the process.
+const (
+	MaxNodes      = 4096
+	MaxMsgLen     = 4096
+	MaxReplicates = 256
+	MaxWorkers    = 256
+	MaxRatePoints = 256
+	// MaxTotalCycles bounds warmup+measure+drain of one configuration.
+	MaxTotalCycles = 500_000_000
+	// MaxJobCycles bounds a whole job's simulated work — design points times
+	// per-point cycles — so maxed-out individual knobs cannot be combined
+	// into a request that wedges an executor for weeks.
+	MaxJobCycles = 4_000_000_000
+)
+
+// topoNames maps wire names to topologies; the reverse direction uses
+// Topology.String(), which emits exactly these names.
+var topoNames = map[string]experiments.Topology{
+	"quarc":            experiments.TopoQuarc,
+	"spidergon":        experiments.TopoSpidergon,
+	"quarc-chainbcast": experiments.TopoQuarcChainBcast,
+	"quarc-1queue":     experiments.TopoQuarcSingleQueue,
+	"mesh":             experiments.TopoMesh,
+	"torus":            experiments.TopoTorus,
+}
+
+// ParseTopology resolves a wire-format topology name ("" means quarc).
+func ParseTopology(name string) (experiments.Topology, error) {
+	if name == "" {
+		return experiments.TopoQuarc, nil
+	}
+	if t, ok := topoNames[strings.ToLower(name)]; ok {
+		return t, nil
+	}
+	return 0, fmt.Errorf("unknown topology %q", name)
+}
+
+var patternNames = map[string]traffic.Pattern{
+	"uniform":    traffic.Uniform,
+	"hotspot":    traffic.Hotspot,
+	"antipodal":  traffic.Antipodal,
+	"neighbor":   traffic.NearestNeighbor,
+	"bitreverse": traffic.BitReverse,
+}
+
+// ParsePattern resolves a wire-format traffic-pattern name ("" means
+// uniform).
+func ParsePattern(name string) (traffic.Pattern, error) {
+	if name == "" {
+		return traffic.Uniform, nil
+	}
+	if p, ok := patternNames[strings.ToLower(name)]; ok {
+		return p, nil
+	}
+	return 0, fmt.Errorf("unknown pattern %q", name)
+}
+
+// PatternName is the wire name of a pattern.
+func PatternName(p traffic.Pattern) string {
+	for name, v := range patternNames {
+		if v == p {
+			return name
+		}
+	}
+	return fmt.Sprintf("pattern(%d)", int(p))
+}
+
+// RunRequest is the body of POST /v1/runs: one simulation configuration,
+// optionally replicated. Zero fields take the simulator's defaults.
+type RunRequest struct {
+	Topo        string  `json:"topo,omitempty"`
+	N           int     `json:"n"`
+	MsgLen      int     `json:"msglen,omitempty"`
+	Beta        float64 `json:"beta,omitempty"`
+	Rate        float64 `json:"rate"`
+	Pattern     string  `json:"pattern,omitempty"`
+	HotspotBias float64 `json:"hotspot_bias,omitempty"`
+	Depth       int     `json:"depth,omitempty"`
+	Warmup      int64   `json:"warmup,omitempty"`
+	Measure     int64   `json:"measure,omitempty"`
+	Drain       int64   `json:"drain,omitempty"`
+	Seed        uint64  `json:"seed,omitempty"`
+	Replicates  int     `json:"replicates,omitempty"`
+	Workers     int     `json:"workers,omitempty"`
+}
+
+// Config validates the request and converts it to a normalised simulator
+// configuration.
+func (r RunRequest) Config() (experiments.Config, error) {
+	topo, err := ParseTopology(r.Topo)
+	if err != nil {
+		return experiments.Config{}, err
+	}
+	pat, err := ParsePattern(r.Pattern)
+	if err != nil {
+		return experiments.Config{}, err
+	}
+	if r.N <= 0 {
+		return experiments.Config{}, fmt.Errorf("n must be positive")
+	}
+	cfg := experiments.Config{
+		Topo: topo, N: r.N, MsgLen: r.MsgLen, Beta: r.Beta, Rate: r.Rate,
+		Pattern: pat, HotspotBias: r.HotspotBias, Depth: r.Depth,
+		Warmup: r.Warmup, Measure: r.Measure, Drain: r.Drain, Seed: r.Seed,
+	}.WithDefaults()
+	switch {
+	case cfg.N > MaxNodes:
+		return experiments.Config{}, fmt.Errorf("n %d exceeds the limit %d", cfg.N, MaxNodes)
+	case cfg.MsgLen > MaxMsgLen:
+		return experiments.Config{}, fmt.Errorf("msglen %d exceeds the limit %d", cfg.MsgLen, MaxMsgLen)
+	case cfg.Warmup < 0 || cfg.Measure < 0 || cfg.Drain < 0:
+		return experiments.Config{}, fmt.Errorf("cycle budgets must be non-negative")
+	case cfg.Warmup+cfg.Measure+cfg.Drain > MaxTotalCycles:
+		return experiments.Config{}, fmt.Errorf("warmup+measure+drain exceeds the limit %d", MaxTotalCycles)
+	case r.Replicates < 0 || r.Replicates > MaxReplicates:
+		return experiments.Config{}, fmt.Errorf("replicates %d outside [0,%d]", r.Replicates, MaxReplicates)
+	case r.Workers < 0 || r.Workers > MaxWorkers:
+		return experiments.Config{}, fmt.Errorf("workers %d outside [0,%d]", r.Workers, MaxWorkers)
+	case int64(r.replicates())*(cfg.Warmup+cfg.Measure+cfg.Drain) > MaxJobCycles:
+		return experiments.Config{}, fmt.Errorf("replicates x cycles exceeds the job limit %d", int64(MaxJobCycles))
+	}
+	return cfg, nil
+}
+
+// replicates returns the effective replicate count.
+func (r RunRequest) replicates() int {
+	if r.Replicates < 1 {
+		return 1
+	}
+	return r.Replicates
+}
+
+// SweepOpts is the wire form of experiments.RunOpts (minus the worker count's
+// effect on results: workers only changes wall-clock time).
+type SweepOpts struct {
+	Warmup     int64  `json:"warmup,omitempty"`
+	Measure    int64  `json:"measure,omitempty"`
+	Drain      int64  `json:"drain,omitempty"`
+	Depth      int    `json:"depth,omitempty"`
+	Seed       uint64 `json:"seed,omitempty"`
+	Points     int    `json:"points,omitempty"`
+	Replicates int    `json:"replicates,omitempty"`
+	Workers    int    `json:"workers,omitempty"`
+}
+
+// PanelRequest is the body of POST /v1/panels: one figure panel (a rate sweep
+// of both architectures), as in the paper's Figs 9-11.
+type PanelRequest struct {
+	Figure string    `json:"figure,omitempty"`
+	Name   string    `json:"name,omitempty"`
+	N      int       `json:"n"`
+	MsgLen int       `json:"msglen,omitempty"`
+	Beta   float64   `json:"beta,omitempty"`
+	Rates  []float64 `json:"rates,omitempty"`
+	Opts   SweepOpts `json:"opts,omitempty"`
+}
+
+// SpecOpts validates the request and converts it to the sweep engine's
+// (PanelSpec, RunOpts) pair. Zero option fields take DefaultOpts values.
+func (p PanelRequest) SpecOpts() (experiments.PanelSpec, experiments.RunOpts, error) {
+	if p.N <= 0 {
+		return experiments.PanelSpec{}, experiments.RunOpts{}, fmt.Errorf("n must be positive")
+	}
+	if p.N > MaxNodes {
+		return experiments.PanelSpec{}, experiments.RunOpts{}, fmt.Errorf("n %d exceeds the limit %d", p.N, MaxNodes)
+	}
+	if p.MsgLen > MaxMsgLen {
+		return experiments.PanelSpec{}, experiments.RunOpts{}, fmt.Errorf("msglen %d exceeds the limit %d", p.MsgLen, MaxMsgLen)
+	}
+	if len(p.Rates) > MaxRatePoints {
+		return experiments.PanelSpec{}, experiments.RunOpts{}, fmt.Errorf("%d rates exceed the limit %d", len(p.Rates), MaxRatePoints)
+	}
+	spec := experiments.PanelSpec{
+		Figure: p.Figure, Name: p.Name,
+		N: p.N, MsgLen: p.MsgLen, Beta: p.Beta,
+		Rates: append([]float64(nil), p.Rates...),
+	}
+	if spec.MsgLen == 0 {
+		spec.MsgLen = 16
+	}
+	def := experiments.DefaultOpts()
+	o := p.Opts
+	opts := experiments.RunOpts{
+		Warmup: o.Warmup, Measure: o.Measure, Drain: o.Drain,
+		Depth: o.Depth, Seed: o.Seed, Points: o.Points,
+		Replicates: o.Replicates, Workers: o.Workers,
+	}
+	if opts.Warmup == 0 {
+		opts.Warmup = def.Warmup
+	}
+	if opts.Measure == 0 {
+		opts.Measure = def.Measure
+	}
+	if opts.Drain == 0 {
+		opts.Drain = def.Drain
+	}
+	if opts.Depth == 0 {
+		opts.Depth = def.Depth
+	}
+	if opts.Seed == 0 {
+		opts.Seed = def.Seed
+	}
+	if opts.Points == 0 {
+		opts.Points = def.Points
+	}
+	if opts.Replicates < 1 {
+		opts.Replicates = 1
+	}
+	switch {
+	case opts.Warmup < 0 || opts.Measure < 0 || opts.Drain < 0:
+		return experiments.PanelSpec{}, experiments.RunOpts{}, fmt.Errorf("cycle budgets must be non-negative")
+	case opts.Warmup+opts.Measure+opts.Drain > MaxTotalCycles:
+		return experiments.PanelSpec{}, experiments.RunOpts{}, fmt.Errorf("warmup+measure+drain exceeds the limit %d", MaxTotalCycles)
+	case opts.Points < 0 || opts.Points > MaxRatePoints:
+		return experiments.PanelSpec{}, experiments.RunOpts{}, fmt.Errorf("points %d outside [0,%d]", opts.Points, MaxRatePoints)
+	case opts.Replicates > MaxReplicates:
+		return experiments.PanelSpec{}, experiments.RunOpts{}, fmt.Errorf("replicates %d exceeds the limit %d", opts.Replicates, MaxReplicates)
+	case opts.Workers < 0 || opts.Workers > MaxWorkers:
+		return experiments.PanelSpec{}, experiments.RunOpts{}, fmt.Errorf("workers %d outside [0,%d]", opts.Workers, MaxWorkers)
+	}
+	rates := len(spec.Rates)
+	if rates == 0 {
+		rates = opts.Points
+	}
+	if points := int64(2) * int64(rates) * int64(opts.Replicates); points*(opts.Warmup+opts.Measure+opts.Drain) > MaxJobCycles {
+		return experiments.PanelSpec{}, experiments.RunOpts{}, fmt.Errorf("points x replicates x cycles exceeds the job limit %d", int64(MaxJobCycles))
+	}
+	return spec, opts, nil
+}
+
+// ResultJSON is the wire form of one simulation result. Field values are
+// pure functions of the configuration and seed, so identical requests
+// marshal to identical bytes — the property the result cache relies on.
+type ResultJSON struct {
+	Topo          string  `json:"topo"`
+	N             int     `json:"n"`
+	MsgLen        int     `json:"msglen"`
+	Beta          float64 `json:"beta"`
+	Rate          float64 `json:"rate"`
+	Pattern       string  `json:"pattern"`
+	Seed          uint64  `json:"seed"`
+	UnicastMean   float64 `json:"unicast_mean"`
+	UnicastCI     float64 `json:"unicast_ci95"`
+	UnicastP50    float64 `json:"unicast_p50"`
+	UnicastP95    float64 `json:"unicast_p95"`
+	UnicastP99    float64 `json:"unicast_p99"`
+	UnicastCount  int64   `json:"unicast_count"`
+	BcastMean     float64 `json:"bcast_mean"`
+	BcastCI       float64 `json:"bcast_ci95"`
+	BcastP50      float64 `json:"bcast_p50"`
+	BcastP95      float64 `json:"bcast_p95"`
+	BcastP99      float64 `json:"bcast_p99"`
+	BcastDelivery float64 `json:"bcast_delivery"`
+	BcastCount    int64   `json:"bcast_count"`
+	Throughput    float64 `json:"throughput"`
+	Saturated     bool    `json:"saturated"`
+	Leftover      int     `json:"leftover"`
+	Duplicates    uint64  `json:"duplicates"`
+	Cycles        int64   `json:"cycles"`
+}
+
+// EncodeResult converts a measured result to its wire form.
+func EncodeResult(r experiments.Result) ResultJSON {
+	return ResultJSON{
+		Topo:          r.Cfg.Topo.String(),
+		N:             r.Cfg.N,
+		MsgLen:        r.Cfg.MsgLen,
+		Beta:          r.Cfg.Beta,
+		Rate:          r.Cfg.Rate,
+		Pattern:       PatternName(r.Cfg.Pattern),
+		Seed:          r.Cfg.Seed,
+		UnicastMean:   r.UnicastMean,
+		UnicastCI:     r.UnicastCI,
+		UnicastP50:    r.UnicastP50,
+		UnicastP95:    r.UnicastP95,
+		UnicastP99:    r.UnicastP99,
+		UnicastCount:  r.UnicastCount,
+		BcastMean:     r.BcastMean,
+		BcastCI:       r.BcastCI,
+		BcastP50:      r.BcastP50,
+		BcastP95:      r.BcastP95,
+		BcastP99:      r.BcastP99,
+		BcastDelivery: r.BcastDelivery,
+		BcastCount:    r.BcastCount,
+		Throughput:    r.Throughput,
+		Saturated:     r.Saturated,
+		Leftover:      r.Leftover,
+		Duplicates:    r.Duplicates,
+		Cycles:        r.Cycles,
+	}
+}
+
+// RunResult is the payload of a completed run job (and of quarcsim -json):
+// the replicate aggregate plus, when replicated, the per-replicate results.
+type RunResult struct {
+	Result     ResultJSON   `json:"result"`
+	Replicates []ResultJSON `json:"replicates,omitempty"`
+}
+
+// EncodeRun converts a replicated run to its wire form — the single encoding
+// shared by the daemon's job payloads and quarcsim -json, so both surfaces
+// stay byte-compatible by construction.
+func EncodeRun(agg experiments.Result, reps []experiments.Result) RunResult {
+	out := RunResult{Result: EncodeResult(agg)}
+	if len(reps) > 1 {
+		for _, r := range reps {
+			out.Replicates = append(out.Replicates, EncodeResult(r))
+		}
+	}
+	return out
+}
+
+// PanelResultJSON is the payload of a completed panel job (and of
+// quarcbench -json): the replicate-aggregated sweep of both architectures.
+type PanelResultJSON struct {
+	Figure     string       `json:"figure,omitempty"`
+	Name       string       `json:"name,omitempty"`
+	N          int          `json:"n"`
+	MsgLen     int          `json:"msglen"`
+	Beta       float64      `json:"beta"`
+	Rates      []float64    `json:"rates"`
+	Replicates int          `json:"replicates"`
+	Quarc      []ResultJSON `json:"quarc"`
+	Spidergon  []ResultJSON `json:"spidergon"`
+}
+
+// EncodePanel converts a measured panel to its wire form.
+func EncodePanel(pr experiments.PanelResult) PanelResultJSON {
+	out := PanelResultJSON{
+		Figure: pr.Spec.Figure, Name: pr.Spec.Name,
+		N: pr.Spec.N, MsgLen: pr.Spec.MsgLen, Beta: pr.Spec.Beta,
+		Rates:      append([]float64(nil), pr.RatesSwept...),
+		Replicates: pr.Replicates,
+	}
+	for _, r := range pr.Results[experiments.TopoQuarc] {
+		out.Quarc = append(out.Quarc, EncodeResult(r))
+	}
+	for _, r := range pr.Results[experiments.TopoSpidergon] {
+		out.Spidergon = append(out.Spidergon, EncodeResult(r))
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a bounded LRU mapping canonical request keys to encoded result
+// payloads. It is the daemon's hot path: a repeated request costs one map
+// lookup instead of a simulation, and because the stored bytes are the
+// canonical encoding of a deterministic result, every hit is bit-identical
+// to the original computation.
+type Cache struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List // front = most recently used
+	items  map[string]*list.Element
+	hits   uint64
+	misses uint64
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+// NewCache builds a cache bounded to capacity entries (minimum 1).
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the payload stored under key, marking it most recently used.
+func (c *Cache) Get(key string) ([]byte, bool) { return c.get(key, true) }
+
+// Probe is Get for internal re-checks (e.g. at job dequeue): a hit still
+// counts — it saved a simulation — but an absence is not recorded as a miss,
+// so the hit rate keeps measuring client-visible lookups only.
+func (c *Cache) Probe(key string) ([]byte, bool) { return c.get(key, false) }
+
+func (c *Cache) get(key string, countMiss bool) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		if countMiss {
+			c.misses++
+		}
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put stores the payload under key, evicting the least recently used entry
+// when over capacity. The caller must not mutate val afterwards.
+func (c *Cache) Put(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,72 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+
+	"quarc/internal/experiments"
+)
+
+// Canonical request hashing: the result cache is content-addressed by a
+// SHA-256 over a canonical JSON encoding of everything the response payload
+// depends on — the normalised configuration (defaults filled in, so a
+// request spelling out the defaults and one omitting them share a key), the
+// seed, the replicate count, and for panels the Figure/Name labels (they are
+// echoed in the payload, so two requests differing only in labels must not
+// share cached bytes). Deliberately excluded: worker counts and progress
+// callbacks, which never change a single output bit.
+
+// RunKey returns the cache key of a replicated single-configuration run.
+func RunKey(cfg experiments.Config, replicates int) string {
+	if replicates < 1 {
+		replicates = 1
+	}
+	return hashKey(struct {
+		Kind       string
+		Cfg        experiments.Config
+		Replicates int
+	}{"run", cfg.WithDefaults(), replicates})
+}
+
+// PanelKey returns the cache key of a panel sweep.
+func PanelKey(spec experiments.PanelSpec, opts experiments.RunOpts) string {
+	if opts.Replicates < 1 {
+		opts.Replicates = 1
+	}
+	if len(spec.Rates) > 0 {
+		// Explicit rates make the Points grid size irrelevant to the sweep;
+		// keep it out of the key so the identical work shares one entry.
+		opts.Points = 0
+	}
+	return hashKey(struct {
+		Kind                   string
+		Figure, Name           string
+		N, MsgLen              int
+		Beta                   float64
+		Rates                  []float64
+		Warmup, Measure, Drain int64
+		Depth                  int
+		Seed                   uint64
+		Points, Replicates     int
+	}{
+		Kind: "panel", Figure: spec.Figure, Name: spec.Name,
+		N: spec.N, MsgLen: spec.MsgLen, Beta: spec.Beta,
+		Rates:  spec.Rates,
+		Warmup: opts.Warmup, Measure: opts.Measure, Drain: opts.Drain,
+		Depth: opts.Depth, Seed: opts.Seed,
+		Points: opts.Points, Replicates: opts.Replicates,
+	})
+}
+
+// hashKey marshals v deterministically (struct field order, no maps) and
+// hashes the bytes.
+func hashKey(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Key structs contain only value fields; this cannot happen.
+		panic("service: canonical key marshal: " + err.Error())
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,467 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"quarc/internal/experiments"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// terminal reports whether a job in this state will never change again.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Event is one NDJSON progress line of GET /v1/jobs/{id}/events. Type is
+// "state" for lifecycle transitions and "point" for sweep-point completions
+// (rep is omitted for replicate 0).
+type Event struct {
+	Type        string  `json:"type"`
+	State       State   `json:"state,omitempty"`
+	Done        int     `json:"done,omitempty"`
+	Total       int     `json:"total,omitempty"`
+	Topo        string  `json:"topo,omitempty"`
+	Rate        float64 `json:"rate,omitempty"`
+	Rep         int     `json:"rep,omitempty"`
+	UnicastMean float64 `json:"unicast_mean,omitempty"`
+	Cached      bool    `json:"cached,omitempty"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// jobWork is the parsed, validated request a job executes — exactly one of
+// the fields is set.
+type jobWork struct {
+	run   *runWork
+	panel *panelWork
+}
+
+type runWork struct {
+	cfg        experiments.Config
+	replicates int
+	workers    int
+}
+
+type panelWork struct {
+	spec experiments.PanelSpec
+	opts experiments.RunOpts
+}
+
+// Job is one submitted request and its lifecycle. All mutable fields are
+// guarded by mu; changed is closed and replaced on every mutation so
+// streaming subscribers can wait without polling.
+type Job struct {
+	ID      string          `json:"id"`
+	Kind    string          `json:"kind"` // "run" | "panel"
+	Key     string          `json:"key"`  // canonical cache key
+	Request json.RawMessage `json:"-"`
+
+	work jobWork
+	// onTerminal, set at creation, observes the single transition into a
+	// terminal state (for the server's job-outcome counters).
+	onTerminal func(State)
+
+	mu        sync.Mutex
+	cancel    context.CancelFunc
+	cancelReq bool
+	changed   chan struct{}
+	state     State
+	cached    bool
+	errMsg    string
+	result    []byte
+	events    []Event
+	done      int
+	total     int
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+func newJob(id, kind, key string, req json.RawMessage, work jobWork, onTerminal func(State)) *Job {
+	j := &Job{
+		ID: id, Kind: kind, Key: key, Request: req,
+		work: work, onTerminal: onTerminal, changed: make(chan struct{}),
+		state: StateQueued, created: time.Now(),
+	}
+	j.events = append(j.events, Event{Type: "state", State: StateQueued})
+	return j
+}
+
+// notifyLocked wakes every waiter; callers hold mu.
+func (j *Job) notifyLocked() {
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+// State returns the current state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// setState transitions the job, appending the matching event, and reports
+// whether the transition took effect. Transitions out of a terminal state
+// are ignored (e.g. an executor observing a job that was cancelled while
+// queued).
+func (j *Job) setState(s State, errMsg string) bool {
+	j.mu.Lock()
+	if j.state.terminal() {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = s
+	switch s {
+	case StateRunning:
+		j.started = time.Now()
+	case StateDone, StateFailed, StateCancelled:
+		j.finished = time.Now()
+	}
+	j.errMsg = errMsg
+	j.events = append(j.events, Event{Type: "state", State: s, Cached: j.cached, Error: errMsg})
+	j.notifyLocked()
+	terminal := s.terminal()
+	hook := j.onTerminal
+	j.mu.Unlock()
+	if terminal && hook != nil {
+		hook(s)
+	}
+	return true
+}
+
+// setTotal records the number of design points the job will simulate.
+func (j *Job) setTotal(total int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.total = total
+	j.notifyLocked()
+}
+
+// maxJobEvents caps the retained per-point events of one job so a
+// limit-sized sweep (tens of thousands of points) cannot pin unbounded
+// memory in the store. Beyond the cap a single "truncated" marker is
+// emitted; progress stays observable through the job snapshot's done/total.
+const maxJobEvents = 4096
+
+// pointDone appends a sweep-point progress event. Called concurrently from
+// the sweep engine's worker goroutines.
+func (j *Job) pointDone(pd experiments.PointDone) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.done++
+	if pd.Total > j.total {
+		j.total = pd.Total
+	}
+	switch {
+	case len(j.events) < maxJobEvents:
+		j.events = append(j.events, Event{
+			Type: "point", Done: j.done, Total: j.total,
+			Topo: pd.Topo.String(), Rate: pd.Rate, Rep: pd.Replicate,
+			UnicastMean: pd.Result.UnicastMean,
+		})
+	case len(j.events) == maxJobEvents:
+		j.events = append(j.events, Event{Type: "truncated", Done: j.done, Total: j.total})
+	}
+	j.notifyLocked()
+}
+
+// finish marks the job done with its canonical result payload, reporting
+// whether the transition took effect (false if the job was already
+// terminal, e.g. cancelled).
+func (j *Job) finish(result []byte, cached bool) bool {
+	j.mu.Lock()
+	if j.state.terminal() {
+		j.mu.Unlock()
+		return false
+	}
+	j.result = result
+	j.cached = cached
+	j.mu.Unlock()
+	return j.setState(StateDone, "")
+}
+
+// setCancel hands the job its execution context's cancel function. The
+// executor calls it before marking the job running, so a running job always
+// has a live cancel hook; a cancellation that arrived first (when the hook
+// was still nil) is replayed here so the context can never outlive it.
+func (j *Job) setCancel(cancel context.CancelFunc) {
+	j.mu.Lock()
+	j.cancel = cancel
+	requested := j.cancelReq
+	j.mu.Unlock()
+	if requested {
+		cancel()
+	}
+}
+
+// Cancel requests cancellation: queued jobs transition immediately, running
+// jobs get their context cancelled and transition when the simulation
+// notices. Terminal jobs are unaffected. It reports whether the job was
+// still live.
+func (j *Job) Cancel() bool {
+	j.mu.Lock()
+	live := !j.state.terminal()
+	queued := j.state == StateQueued
+	j.cancelReq = true
+	cancel := j.cancel
+	j.mu.Unlock()
+	if !live {
+		return false
+	}
+	if queued {
+		j.setState(StateCancelled, "")
+	}
+	if cancel != nil {
+		cancel()
+	}
+	return true
+}
+
+// EventsSince returns the events at index >= n and whether the job is
+// terminal.
+func (j *Job) EventsSince(n int) ([]Event, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if n > len(j.events) {
+		n = len(j.events)
+	}
+	evs := append([]Event(nil), j.events[n:]...)
+	return evs, j.state.terminal()
+}
+
+// WaitChange blocks until the job changes after the caller observed
+// sequence n, the job is terminal, or ctx is done.
+func (j *Job) WaitChange(ctx context.Context, n int) {
+	for {
+		j.mu.Lock()
+		if len(j.events) > n || j.state.terminal() {
+			j.mu.Unlock()
+			return
+		}
+		ch := j.changed
+		j.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// WaitTerminal blocks until the job reaches a terminal state or ctx is done.
+func (j *Job) WaitTerminal(ctx context.Context) {
+	for {
+		j.mu.Lock()
+		if j.state.terminal() {
+			j.mu.Unlock()
+			return
+		}
+		ch := j.changed
+		j.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// JobJSON is the wire form of a job. Result is the canonical payload bytes,
+// so two jobs served from the same cache line embed byte-identical results;
+// Request echoes the submitted body for auditability.
+type JobJSON struct {
+	ID       string          `json:"id"`
+	Kind     string          `json:"kind"`
+	State    State           `json:"state"`
+	Cached   bool            `json:"cached"`
+	Done     int             `json:"done"`
+	Total    int             `json:"total"`
+	Error    string          `json:"error,omitempty"`
+	Created  string          `json:"created,omitempty"`
+	Started  string          `json:"started,omitempty"`
+	Finished string          `json:"finished,omitempty"`
+	Request  json.RawMessage `json:"request,omitempty"`
+	Result   json.RawMessage `json:"result,omitempty"`
+}
+
+// Snapshot renders the job's current wire form. withResult=false omits the
+// payload (for listings).
+func (j *Job) Snapshot(withResult bool) JobJSON {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	t := func(ts time.Time) string {
+		if ts.IsZero() {
+			return ""
+		}
+		return ts.UTC().Format(time.RFC3339Nano)
+	}
+	out := JobJSON{
+		ID: j.ID, Kind: j.Kind, State: j.state, Cached: j.cached,
+		Done: j.done, Total: j.total, Error: j.errMsg,
+		Created: t(j.created), Started: t(j.started), Finished: t(j.finished),
+	}
+	if withResult {
+		out.Request = j.Request
+		if j.state == StateDone {
+			out.Result = json.RawMessage(j.result)
+		}
+	}
+	return out
+}
+
+// Store holds jobs by ID, bounded by evicting the oldest terminal jobs.
+type Store struct {
+	mu    sync.Mutex
+	cap   int
+	seq   int
+	jobs  map[string]*Job
+	order []string // creation order
+}
+
+// NewStore builds a store retaining at most capacity jobs.
+func NewStore(capacity int) *Store {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Store{cap: capacity, jobs: make(map[string]*Job)}
+}
+
+// Add registers a new job under a fresh ID. onTerminal, if non-nil, fires
+// once when the job reaches a terminal state.
+func (s *Store) Add(kind, key string, req json.RawMessage, work jobWork, onTerminal func(State)) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	j := newJob(fmt.Sprintf("j%06d", s.seq), kind, key, req, work, onTerminal)
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	// Evict oldest terminal jobs beyond capacity; live jobs are never
+	// dropped, so the store can transiently exceed cap under heavy load.
+	for len(s.jobs) > s.cap {
+		evicted := false
+		for i, id := range s.order {
+			if old, ok := s.jobs[id]; ok && old.State().terminal() {
+				delete(s.jobs, id)
+				s.order = append(s.order[:i:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			break
+		}
+	}
+	return j
+}
+
+// Get returns the job with the given ID.
+func (s *Store) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// List returns the retained jobs in creation order.
+func (s *Store) List() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.jobs))
+	for _, id := range s.order {
+		if j, ok := s.jobs[id]; ok {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Scheduler executes jobs on a fixed pool of executor goroutines fed by a
+// bounded queue, so a burst of submissions queues up instead of spawning
+// unbounded concurrent simulations.
+type Scheduler struct {
+	mu      sync.Mutex
+	closed  bool
+	queue   chan *Job
+	wg      sync.WaitGroup
+	running int
+}
+
+// NewScheduler starts workers executor goroutines over a queue of the given
+// capacity; exec runs one job to a terminal state.
+func NewScheduler(workers, queueCap int, exec func(*Job)) *Scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueCap < 1 {
+		queueCap = 1
+	}
+	s := &Scheduler{queue: make(chan *Job, queueCap)}
+	for w := 0; w < workers; w++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for j := range s.queue {
+				s.mu.Lock()
+				s.running++
+				s.mu.Unlock()
+				exec(j)
+				s.mu.Lock()
+				s.running--
+				s.mu.Unlock()
+			}
+		}()
+	}
+	return s
+}
+
+// Enqueue submits a job; it fails when the queue is full (backpressure) or
+// the scheduler is draining.
+func (s *Scheduler) Enqueue(j *Job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("scheduler is shutting down")
+	}
+	select {
+	case s.queue <- j:
+		return nil
+	default:
+		return fmt.Errorf("job queue full (%d pending)", cap(s.queue))
+	}
+}
+
+// Depth returns the number of queued (not yet executing) jobs.
+func (s *Scheduler) Depth() int { return len(s.queue) }
+
+// Running returns the number of jobs currently executing.
+func (s *Scheduler) Running() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.running
+}
+
+// Close stops intake and, once the already-queued jobs have drained, stops
+// the executors. It blocks until they exit; bound it by cancelling the jobs'
+// contexts first if a deadline matters.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}

@@ -1,0 +1,88 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics aggregates the daemon's operational counters. Everything is
+// atomic so the simulation hot path (per-point callbacks) never contends on
+// a lock.
+type Metrics struct {
+	start          time.Time
+	jobsAccepted   atomic.Uint64
+	jobsDone       atomic.Uint64
+	jobsFailed     atomic.Uint64
+	jobsCancelled  atomic.Uint64
+	jobsRejected   atomic.Uint64
+	pointsSim      atomic.Uint64
+	cyclesSim      atomic.Uint64
+	cachedResponse atomic.Uint64
+}
+
+// NewMetrics starts the uptime clock.
+func NewMetrics() *Metrics { return &Metrics{start: time.Now()} }
+
+// MetricsSnapshot is a consistent-enough copy of the counters for tests and
+// the /metrics endpoint.
+type MetricsSnapshot struct {
+	UptimeSeconds   float64
+	JobsAccepted    uint64
+	JobsDone        uint64
+	JobsFailed      uint64
+	JobsCancelled   uint64
+	JobsRejected    uint64
+	CachedResponses uint64
+	PointsSimulated uint64
+	CyclesSimulated uint64
+	CacheHits       uint64
+	CacheMisses     uint64
+	CacheEntries    int
+	QueueDepth      int
+	JobsRunning     int
+}
+
+// CyclesPerSecond is the lifetime average simulation throughput.
+func (m MetricsSnapshot) CyclesPerSecond() float64 {
+	if m.UptimeSeconds <= 0 {
+		return 0
+	}
+	return float64(m.CyclesSimulated) / m.UptimeSeconds
+}
+
+// HitRate is the cache hit fraction in [0,1] (0 before any lookup).
+func (m MetricsSnapshot) HitRate() float64 {
+	total := m.CacheHits + m.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(m.CacheHits) / float64(total)
+}
+
+// writeProm renders the snapshot in the Prometheus text exposition format.
+func (m MetricsSnapshot) writeProm(w io.Writer) {
+	g := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	c := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	g("quarcd_uptime_seconds", "Seconds since the daemon started.", m.UptimeSeconds)
+	g("quarcd_queue_depth", "Jobs queued and not yet executing.", float64(m.QueueDepth))
+	g("quarcd_jobs_running", "Jobs currently executing.", float64(m.JobsRunning))
+	c("quarcd_jobs_accepted_total", "Jobs submitted; each eventually counts done, failed or cancelled.", m.JobsAccepted)
+	c("quarcd_jobs_done_total", "Jobs finished successfully.", m.JobsDone)
+	c("quarcd_jobs_failed_total", "Jobs finished with an error.", m.JobsFailed)
+	c("quarcd_jobs_cancelled_total", "Jobs cancelled before completion.", m.JobsCancelled)
+	c("quarcd_jobs_rejected_total", "Submissions rejected by queue backpressure.", m.JobsRejected)
+	c("quarcd_cached_responses_total", "Jobs answered from the result cache without simulating.", m.CachedResponses)
+	c("quarcd_cache_hits_total", "Result-cache lookup hits.", m.CacheHits)
+	c("quarcd_cache_misses_total", "Result-cache lookup misses.", m.CacheMisses)
+	g("quarcd_cache_entries", "Entries resident in the result cache.", float64(m.CacheEntries))
+	g("quarcd_cache_hit_rate", "Lifetime cache hit fraction.", m.HitRate())
+	c("quarcd_points_simulated_total", "Sweep design points simulated.", m.PointsSimulated)
+	c("quarcd_cycles_simulated_total", "Fabric cycles simulated.", m.CyclesSimulated)
+	g("quarcd_cycles_per_second", "Lifetime average simulated cycles per wall-clock second.", m.CyclesPerSecond())
+}

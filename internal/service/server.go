@@ -1,0 +1,421 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"quarc/internal/experiments"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// Workers is the number of jobs executing concurrently (each job may
+	// additionally fan its sweep points across its own goroutines). 0 means 2.
+	Workers int
+	// QueueCap bounds the submission queue; over it, POSTs get 503. 0 means 256.
+	QueueCap int
+	// CacheEntries bounds the LRU result cache. 0 means 1024.
+	CacheEntries int
+	// StoreEntries bounds retained job records. 0 means 4096.
+	StoreEntries int
+	// Log receives request and lifecycle lines; nil discards them.
+	Log *log.Logger
+}
+
+// Server is the simulation service: an http.Handler plus the scheduler,
+// store, cache and metrics behind it.
+type Server struct {
+	cfg     Config
+	log     *log.Logger
+	store   *Store
+	cache   *Cache
+	metrics *Metrics
+	sched   *Scheduler
+	mux     *http.ServeMux
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+}
+
+// New assembles a server and starts its executor pool.
+func New(cfg Config) *Server {
+	if cfg.Workers < 1 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueCap < 1 {
+		cfg.QueueCap = 256
+	}
+	if cfg.CacheEntries < 1 {
+		cfg.CacheEntries = 1024
+	}
+	if cfg.StoreEntries < 1 {
+		cfg.StoreEntries = 4096
+	}
+	lg := cfg.Log
+	if lg == nil {
+		lg = log.New(io.Discard, "", 0)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg: cfg, log: lg,
+		store:   NewStore(cfg.StoreEntries),
+		cache:   NewCache(cfg.CacheEntries),
+		metrics: NewMetrics(),
+		mux:     http.NewServeMux(),
+		baseCtx: ctx, baseCancel: cancel,
+	}
+	s.sched = NewScheduler(cfg.Workers, cfg.QueueCap, s.execute)
+	s.mux.HandleFunc("/v1/runs", s.handleRuns)
+	s.mux.HandleFunc("/v1/panels", s.handlePanels)
+	s.mux.HandleFunc("/v1/jobs", s.handleJobList)
+	s.mux.HandleFunc("/v1/jobs/", s.handleJob)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	return s
+}
+
+// Handler returns the HTTP surface of the server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Snapshot returns the current operational counters.
+func (s *Server) Snapshot() MetricsSnapshot {
+	hits, misses := s.cache.Stats()
+	return MetricsSnapshot{
+		UptimeSeconds:   time.Since(s.metrics.start).Seconds(),
+		JobsAccepted:    s.metrics.jobsAccepted.Load(),
+		JobsDone:        s.metrics.jobsDone.Load(),
+		JobsFailed:      s.metrics.jobsFailed.Load(),
+		JobsCancelled:   s.metrics.jobsCancelled.Load(),
+		JobsRejected:    s.metrics.jobsRejected.Load(),
+		CachedResponses: s.metrics.cachedResponse.Load(),
+		PointsSimulated: s.metrics.pointsSim.Load(),
+		CyclesSimulated: s.metrics.cyclesSim.Load(),
+		CacheHits:       hits,
+		CacheMisses:     misses,
+		CacheEntries:    s.cache.Len(),
+		QueueDepth:      s.sched.Depth(),
+		JobsRunning:     s.sched.Running(),
+	}
+}
+
+// Drain gracefully shuts the service down: intake stops and the executors
+// finish every queued and running job. When ctx expires first, the remaining
+// jobs are cancelled and the drain completes with ctx's error.
+func (s *Server) Drain(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.sched.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel() // abort in-flight simulations
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close force-stops the service: every live job is cancelled and the
+// executors are waited out.
+func (s *Server) Close() {
+	s.baseCancel()
+	for _, j := range s.store.List() {
+		j.Cancel()
+	}
+	s.sched.Close()
+}
+
+// execute runs one job to a terminal state on an executor goroutine.
+func (s *Server) execute(j *Job) {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	j.setCancel(cancel)
+	// A cancellation that raced the dequeue leaves the job terminal; anything
+	// later cancels ctx through setCancel's handoff.
+	if j.State() != StateQueued {
+		return
+	}
+	// Re-check the cache at dequeue time: an identical job may have finished
+	// while this one sat in the queue (the back-to-back duplicate pattern a
+	// burst of identical clients produces).
+	if cached, ok := s.cache.Probe(j.Key); ok {
+		if j.finish(cached, true) {
+			s.metrics.cachedResponse.Add(1)
+			s.log.Printf("job %s %s served from cache at dequeue", j.ID, j.Kind)
+		}
+		return
+	}
+	if !j.setState(StateRunning, "") {
+		return // a cancellation won the race; ctx is (or will be) cancelled
+	}
+	s.log.Printf("job %s %s key=%.12s running", j.ID, j.Kind, j.Key)
+
+	onPoint := func(pd experiments.PointDone) {
+		j.pointDone(pd)
+		s.metrics.pointsSim.Add(1)
+		s.metrics.cyclesSim.Add(uint64(pd.Result.Cycles))
+	}
+
+	var payload any
+	var err error
+	switch {
+	case j.work.run != nil:
+		w := j.work.run
+		j.setTotal(w.replicates)
+		var agg experiments.Result
+		var reps []experiments.Result
+		agg, reps, err = experiments.RunReplicatedContext(ctx, w.cfg, w.replicates, w.workers, onPoint)
+		if err == nil {
+			payload = EncodeRun(agg, reps)
+		}
+	case j.work.panel != nil:
+		w := j.work.panel
+		opts := w.opts
+		j.setTotal(experiments.PanelPointCount(w.spec, opts))
+		opts.OnPointDone = onPoint
+		var pr experiments.PanelResult
+		pr, err = experiments.RunPanelContext(ctx, w.spec, opts)
+		if err == nil {
+			payload = EncodePanel(pr)
+		}
+	default:
+		err = fmt.Errorf("job has no work")
+	}
+
+	switch {
+	case err == nil:
+		b, merr := json.Marshal(payload)
+		if merr != nil {
+			j.setState(StateFailed, merr.Error())
+			return
+		}
+		s.cache.Put(j.Key, b)
+		j.finish(b, false)
+		s.log.Printf("job %s done", j.ID)
+	case errors.Is(err, context.Canceled):
+		j.setState(StateCancelled, "")
+		s.log.Printf("job %s cancelled", j.ID)
+	default:
+		j.setState(StateFailed, err.Error())
+		s.log.Printf("job %s failed: %v", j.ID, err)
+	}
+}
+
+// countOutcome tallies each job's single terminal transition, keeping the
+// invariant accepted == done + failed + cancelled once all jobs settle.
+func (s *Server) countOutcome(st State) {
+	switch st {
+	case StateDone:
+		s.metrics.jobsDone.Add(1)
+	case StateFailed:
+		s.metrics.jobsFailed.Add(1)
+	case StateCancelled:
+		s.metrics.jobsCancelled.Add(1)
+	}
+}
+
+// submit registers and schedules (or answers from cache) one parsed request.
+func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind, key string, raw json.RawMessage, work jobWork) {
+	j := s.store.Add(kind, key, raw, work, s.countOutcome)
+	s.metrics.jobsAccepted.Add(1)
+	if cached, ok := s.cache.Get(key); ok {
+		j.finish(cached, true)
+		s.metrics.cachedResponse.Add(1)
+		writeJSON(w, http.StatusOK, j.Snapshot(true))
+		return
+	}
+	if err := s.sched.Enqueue(j); err != nil {
+		j.setState(StateFailed, err.Error())
+		s.metrics.jobsRejected.Add(1)
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	if wantWait(r) {
+		j.WaitTerminal(r.Context())
+		writeJSON(w, http.StatusOK, j.Snapshot(true))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Snapshot(false))
+}
+
+// handleRuns accepts POST /v1/runs.
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	raw, req, ok := decodeBody[RunRequest](w, r)
+	if !ok {
+		return
+	}
+	cfg, err := req.Config()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	work := jobWork{run: &runWork{cfg: cfg, replicates: req.replicates(), workers: req.Workers}}
+	s.submit(w, r, "run", RunKey(cfg, req.replicates()), raw, work)
+}
+
+// handlePanels accepts POST /v1/panels.
+func (s *Server) handlePanels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	raw, req, ok := decodeBody[PanelRequest](w, r)
+	if !ok {
+		return
+	}
+	spec, opts, err := req.SpecOpts()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	work := jobWork{panel: &panelWork{spec: spec, opts: opts}}
+	s.submit(w, r, "panel", PanelKey(spec, opts), raw, work)
+}
+
+// handleJobList serves GET /v1/jobs.
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	jobs := s.store.List()
+	out := make([]JobJSON, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.Snapshot(false))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleJob serves GET /v1/jobs/{id}, GET /v1/jobs/{id}/events,
+// POST /v1/jobs/{id}/cancel and DELETE /v1/jobs/{id}.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	id, sub, _ := strings.Cut(rest, "/")
+	j, ok := s.store.Get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("no job %q", id))
+		return
+	}
+	switch {
+	case sub == "" && r.Method == http.MethodGet:
+		if wantWait(r) {
+			j.WaitTerminal(r.Context())
+		}
+		writeJSON(w, http.StatusOK, j.Snapshot(true))
+	case sub == "" && r.Method == http.MethodDelete,
+		sub == "cancel" && r.Method == http.MethodPost:
+		j.Cancel()
+		writeJSON(w, http.StatusOK, j.Snapshot(false))
+	case sub == "events" && r.Method == http.MethodGet:
+		s.streamEvents(w, r, j)
+	default:
+		httpError(w, http.StatusNotFound, fmt.Sprintf("no route %s /v1/jobs/%s/%s", r.Method, id, sub))
+	}
+}
+
+// streamEvents replays a job's progress events as NDJSON and follows until
+// the job is terminal or the client goes away.
+func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, j *Job) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	n := 0
+	for {
+		evs, terminal := j.EventsSince(n)
+		for _, e := range evs {
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+		}
+		n += len(evs)
+		if len(evs) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if terminal {
+			// Drain any events appended between EventsSince and here.
+			if evs, _ := j.EventsSince(n); len(evs) == 0 {
+				return
+			}
+			continue
+		}
+		j.WaitChange(r.Context(), n)
+		if r.Context().Err() != nil {
+			return
+		}
+	}
+}
+
+// handleMetrics serves GET /metrics in the Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.Snapshot().writeProm(w)
+}
+
+// handleHealth serves GET /healthz.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// wantWait reports whether the request asked to block until the job is
+// terminal (?wait=1).
+func wantWait(r *http.Request) bool {
+	v := r.URL.Query().Get("wait")
+	return v == "1" || v == "true"
+}
+
+// maxBodyBytes bounds request bodies.
+const maxBodyBytes = 1 << 20
+
+// decodeBody reads and decodes a JSON body, reporting HTTP errors itself.
+func decodeBody[T any](w http.ResponseWriter, r *http.Request) (json.RawMessage, T, bool) {
+	var req T
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: "+err.Error())
+		return nil, req, false
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decode body: "+err.Error())
+		return nil, req, false
+	}
+	if dec.More() {
+		httpError(w, http.StatusBadRequest, "decode body: trailing data after the request object")
+		return nil, req, false
+	}
+	return raw, req, true
+}
+
+// writeJSON writes a JSON response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// httpError writes a JSON error body.
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

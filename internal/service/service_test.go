@@ -1,0 +1,407 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"quarc/internal/experiments"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	svc := New(cfg)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return svc, ts
+}
+
+// tinyPanel is a panel small enough for unit tests: 8 points of an 8-node
+// network, a few hundred cycles each.
+func tinyPanel() PanelRequest {
+	return PanelRequest{
+		Figure: "fig9", Name: "test", N: 8, MsgLen: 4, Beta: 0.05,
+		Rates: []float64{0.002, 0.004},
+		Opts:  SweepOpts{Warmup: 100, Measure: 400, Drain: 4000, Seed: 7, Replicates: 2},
+	}
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func submitWait(t *testing.T, ts *httptest.Server, path string, body any) JobJSON {
+	t.Helper()
+	resp, data := postJSON(t, ts.URL+path+"?wait=1", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s: %s: %s", path, resp.Status, data)
+	}
+	var job JobJSON
+	if err := json.Unmarshal(data, &job); err != nil {
+		t.Fatalf("decode job: %v\n%s", err, data)
+	}
+	return job
+}
+
+// A panel submitted through the API must return results bit-identical to a
+// direct sweep-engine call with the same parameters — and the serial
+// reference path at that.
+func TestPanelEndpointMatchesDirectSweep(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	req := tinyPanel()
+	job := submitWait(t, ts, "/v1/panels", req)
+	if job.State != StateDone {
+		t.Fatalf("job finished %s: %s", job.State, job.Error)
+	}
+	if job.Cached {
+		t.Fatal("first request reported cached")
+	}
+
+	spec, opts, err := req.SpecOpts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := experiments.RunPanelSerial(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(EncodePanel(direct))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(job.Result, want) {
+		t.Fatalf("API result differs from direct RunPanelSerial:\napi:    %s\ndirect: %s",
+			job.Result, want)
+	}
+}
+
+// The second identical request must be served from cache: byte-identical
+// result, cached flag set, and zero new points simulated.
+func TestPanelCacheHitSimulatesNothing(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 2})
+	first := submitWait(t, ts, "/v1/panels", tinyPanel())
+	if first.State != StateDone || first.Cached {
+		t.Fatalf("first request: state=%s cached=%v", first.State, first.Cached)
+	}
+	before := svc.Snapshot()
+	if before.PointsSimulated == 0 || before.CacheMisses == 0 {
+		t.Fatalf("first request recorded no work: %+v", before)
+	}
+
+	second := submitWait(t, ts, "/v1/panels", tinyPanel())
+	if second.State != StateDone || !second.Cached {
+		t.Fatalf("second request: state=%s cached=%v", second.State, second.Cached)
+	}
+	if !bytes.Equal(first.Result, second.Result) {
+		t.Fatal("cached result not byte-identical to the computed one")
+	}
+	after := svc.Snapshot()
+	if after.PointsSimulated != before.PointsSimulated {
+		t.Fatalf("cache hit simulated %d new points",
+			after.PointsSimulated-before.PointsSimulated)
+	}
+	if after.CacheHits != before.CacheHits+1 {
+		t.Fatalf("cache hits %d -> %d, want +1", before.CacheHits, after.CacheHits)
+	}
+}
+
+// A duplicate that was queued behind its twin must be answered from cache at
+// dequeue time instead of re-simulating.
+func TestQueuedDuplicateServedFromCache(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 1})
+	req := RunRequest{N: 8, MsgLen: 4, Rate: 0.002, Warmup: 100, Measure: 300, Drain: 3000, Seed: 8}
+	_, d1 := postJSON(t, ts.URL+"/v1/runs", req)
+	_, d2 := postJSON(t, ts.URL+"/v1/runs", req)
+	var a, b JobJSON
+	if err := json.Unmarshal(d1, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(d2, &b); err != nil {
+		t.Fatal(err)
+	}
+	fa := waitState(t, ts, a.ID, StateDone, 10*time.Second)
+	fb := waitState(t, ts, b.ID, StateDone, 10*time.Second)
+	if !fb.Cached {
+		t.Fatal("queued duplicate was re-simulated instead of served from cache")
+	}
+	if !bytes.Equal(fa.Result, fb.Result) {
+		t.Fatal("duplicate results differ")
+	}
+	if snap := svc.Snapshot(); snap.PointsSimulated != 1 {
+		t.Fatalf("simulated %d points for two identical jobs, want 1", snap.PointsSimulated)
+	}
+}
+
+// The /metrics endpoint must expose the hit counter the acceptance criterion
+// keys on.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	submitWait(t, ts, "/v1/panels", tinyPanel())
+	submitWait(t, ts, "/v1/panels", tinyPanel())
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	text := buf.String()
+	for _, want := range []string{
+		"quarcd_cache_hits_total 1",
+		"quarcd_cache_misses_total 1",
+		// Both jobs count done (one computed, one from cache): accepted ==
+		// done + failed + cancelled.
+		"quarcd_jobs_accepted_total 2",
+		"quarcd_jobs_done_total 2",
+		"quarcd_cached_responses_total 1",
+		"quarcd_queue_depth 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func waitState(t *testing.T, ts *httptest.Server, id string, want State, budget time.Duration) JobJSON {
+	t.Helper()
+	deadline := time.Now().Add(budget)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var job JobJSON
+		err = json.NewDecoder(resp.Body).Decode(&job)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if job.State == want {
+			return job
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s, want %s", id, job.State, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Cancelling a running job must stop it promptly and free its executor for
+// the next job.
+func TestCancellationFreesWorker(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	// A job that would simulate for hours on the single executor.
+	long := RunRequest{N: 8, MsgLen: 4, Rate: 0.002, Warmup: 100, Measure: 400_000_000, Seed: 3}
+	resp, data := postJSON(t, ts.URL+"/v1/runs", long)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %s: %s", resp.Status, data)
+	}
+	var job JobJSON
+	if err := json.Unmarshal(data, &job); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, ts, job.ID, StateRunning, 5*time.Second)
+
+	cresp, cdata := postJSON(t, ts.URL+"/v1/jobs/"+job.ID+"/cancel", nil)
+	if cresp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: %s: %s", cresp.Status, cdata)
+	}
+	waitState(t, ts, job.ID, StateCancelled, 5*time.Second)
+
+	// The executor must now be free: a small job completes.
+	quick := submitWait(t, ts, "/v1/runs", RunRequest{
+		N: 8, MsgLen: 4, Rate: 0.002, Warmup: 100, Measure: 300, Drain: 3000, Seed: 4,
+	})
+	if quick.State != StateDone {
+		t.Fatalf("post-cancel job finished %s: %s", quick.State, quick.Error)
+	}
+}
+
+// Cancelling a queued job must prevent it from ever running.
+func TestCancelQueuedJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	long := RunRequest{N: 8, MsgLen: 4, Rate: 0.002, Warmup: 100, Measure: 400_000_000, Seed: 3}
+	_, d1 := postJSON(t, ts.URL+"/v1/runs", long)
+	var running JobJSON
+	if err := json.Unmarshal(d1, &running); err != nil {
+		t.Fatal(err)
+	}
+	long.Seed = 5 // distinct key so it cannot be answered from cache
+	_, d2 := postJSON(t, ts.URL+"/v1/runs", long)
+	var queued JobJSON
+	if err := json.Unmarshal(d2, &queued); err != nil {
+		t.Fatal(err)
+	}
+	postJSON(t, ts.URL+"/v1/jobs/"+queued.ID+"/cancel", nil)
+	waitState(t, ts, queued.ID, StateCancelled, 5*time.Second)
+	postJSON(t, ts.URL+"/v1/jobs/"+running.ID+"/cancel", nil)
+	waitState(t, ts, running.ID, StateCancelled, 5*time.Second)
+}
+
+// The NDJSON event stream must replay the full lifecycle: queued, running,
+// one point event per design point, done.
+func TestEventStream(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	job := submitWait(t, ts, "/v1/panels", tinyPanel())
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + job.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	var events []Event
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	req := tinyPanel()
+	spec, opts, _ := req.SpecOpts()
+	wantPoints := experiments.PanelPointCount(spec, opts)
+	var points int
+	for _, e := range events {
+		if e.Type == "point" {
+			points++
+			if e.Done < 1 || e.Done > wantPoints || e.Total != wantPoints {
+				t.Fatalf("bad point event %+v", e)
+			}
+		}
+	}
+	if points != wantPoints {
+		t.Fatalf("%d point events, want %d", points, wantPoints)
+	}
+	if events[0].Type != "state" || events[0].State != StateQueued {
+		t.Fatalf("first event %+v, want queued", events[0])
+	}
+	last := events[len(events)-1]
+	if last.Type != "state" || last.State != StateDone {
+		t.Fatalf("last event %+v, want done", last)
+	}
+}
+
+// Run jobs are cached and deterministic end to end too.
+func TestRunEndpointDeterminism(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	req := RunRequest{
+		N: 8, MsgLen: 4, Beta: 0.05, Rate: 0.004,
+		Warmup: 100, Measure: 400, Drain: 4000, Seed: 42, Replicates: 2,
+	}
+	first := submitWait(t, ts, "/v1/runs", req)
+	if first.State != StateDone {
+		t.Fatalf("run finished %s: %s", first.State, first.Error)
+	}
+	cfg, err := req.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, reps, err := experiments.RunReplicated(cfg, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RunResult{Result: EncodeResult(agg)}
+	for _, r := range reps {
+		out.Replicates = append(out.Replicates, EncodeResult(r))
+	}
+	want, _ := json.Marshal(out)
+	if !bytes.Equal(first.Result, want) {
+		t.Fatalf("API run differs from direct RunReplicated:\napi:    %s\ndirect: %s",
+			first.Result, want)
+	}
+	// Worker count must not leak into the payload: replicated on more workers.
+	req.Workers = 4
+	second := submitWait(t, ts, "/v1/runs", req)
+	if !second.Cached || !bytes.Equal(first.Result, second.Result) {
+		t.Fatal("worker count changed the cache identity or payload")
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	cases := []struct {
+		path string
+		body string
+	}{
+		{"/v1/runs", `{"n":0,"rate":0.01}`},
+		{"/v1/runs", `{"n":16,"rate":0.01,"topo":"nope"}`},
+		{"/v1/runs", `{"n":16,"rate":0.01,"pattern":"nope"}`},
+		{"/v1/runs", `{"n":16,"rate":0.01,"measure":9999999999}`},
+		{"/v1/runs", `{"n":16,"rate":0.01,"bogus_field":1}`},
+		// Individually legal knobs whose product exceeds the job-work bound.
+		{"/v1/runs", `{"n":16,"rate":0.01,"measure":400000000,"replicates":100}`},
+		{"/v1/panels", `{"n":0}`},
+		{"/v1/panels", fmt.Sprintf(`{"n":16,"opts":{"replicates":%d}}`, MaxReplicates+1)},
+		{"/v1/panels", `{"n":16,"opts":{"measure":400000000,"replicates":200,"points":256}}`},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(ts.URL+c.path, "application/json", strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s %s: status %d, want 400", c.path, c.body, resp.StatusCode)
+		}
+	}
+	if resp, err := http.Get(ts.URL + "/v1/jobs/nope"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("unknown job: status %d, want 404", resp.StatusCode)
+		}
+	}
+}
+
+func TestJobListing(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	submitWait(t, ts, "/v1/runs", RunRequest{
+		N: 8, MsgLen: 4, Rate: 0.002, Warmup: 100, Measure: 300, Drain: 3000, Seed: 1,
+	})
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var jobs []JobJSON
+	if err := json.NewDecoder(resp.Body).Decode(&jobs); err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].State != StateDone {
+		t.Fatalf("job listing %+v", jobs)
+	}
+	if len(jobs[0].Result) != 0 {
+		t.Fatal("listing should omit result payloads")
+	}
+}

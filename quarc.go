@@ -28,6 +28,8 @@
 package quarc
 
 import (
+	"context"
+
 	"quarc/internal/cost"
 	"quarc/internal/experiments"
 	"quarc/internal/mesh"
@@ -62,6 +64,17 @@ type (
 // statistics.
 func Run(cfg Config) (Result, error) { return experiments.Run(cfg) }
 
+// RunContext is Run with cooperative cancellation: it returns ctx.Err()
+// promptly once ctx is cancelled; for a never-cancelled ctx the result is
+// bit-identical to Run. The quarcd daemon's job cancellation rides on it.
+func RunContext(ctx context.Context, cfg Config) (Result, error) {
+	return experiments.RunContext(ctx, cfg)
+}
+
+// PointDone describes one completed sweep design point, delivered to
+// RunOpts.OnPointDone for progress streaming.
+type PointDone = experiments.PointDone
+
 // Sweep types for regenerating the paper's figures.
 type (
 	PanelSpec   = experiments.PanelSpec
@@ -87,10 +100,22 @@ func RunPanel(spec PanelSpec, opts RunOpts) (PanelResult, error) {
 	return experiments.RunPanel(spec, opts)
 }
 
+// RunPanelContext is RunPanel with cooperative cancellation; RunOpts can
+// also carry an OnPointDone callback to stream per-point progress.
+func RunPanelContext(ctx context.Context, spec PanelSpec, opts RunOpts) (PanelResult, error) {
+	return experiments.RunPanelContext(ctx, spec, opts)
+}
+
 // RunPanelSerial is RunPanel on a single goroutine — the reference execution
 // the parallel engine is tested against.
 func RunPanelSerial(spec PanelSpec, opts RunOpts) (PanelResult, error) {
 	return experiments.RunPanelSerial(spec, opts)
+}
+
+// PanelPointCount returns the number of design points RunPanel will execute
+// for a spec and options — the denominator of sweep progress.
+func PanelPointCount(spec PanelSpec, opts RunOpts) int {
+	return experiments.PanelPointCount(spec, opts)
 }
 
 // RunReplicated executes one configuration several times with independent
@@ -98,6 +123,12 @@ func RunPanelSerial(spec PanelSpec, opts RunOpts) (PanelResult, error) {
 // the mean ± CI aggregate alongside the per-replicate results.
 func RunReplicated(cfg Config, replicates, workers int) (Result, []Result, error) {
 	return experiments.RunReplicated(cfg, replicates, workers)
+}
+
+// RunReplicatedContext is RunReplicated with cooperative cancellation and an
+// optional per-replicate completion callback.
+func RunReplicatedContext(ctx context.Context, cfg Config, replicates, workers int, onDone func(PointDone)) (Result, []Result, error) {
+	return experiments.RunReplicatedContext(ctx, cfg, replicates, workers, onDone)
 }
 
 // PointSeed derives the deterministic seed of a sweep design point from an
