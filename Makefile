@@ -1,11 +1,12 @@
 GO ?= go
 FUZZTIME ?= 10s
+BENCHTIME ?= 2s
 SERVE_ADDR ?= :8080
 LOAD_ADDR ?= 127.0.0.1:8091
 LOAD_N ?= 200
 LOAD_C ?= 8
 
-.PHONY: all build test race fuzz-short bench fmt vet check serve loadtest
+.PHONY: all build test race fuzz-short bench bench-json fmt vet check serve loadtest
 
 all: check
 
@@ -25,6 +26,17 @@ fuzz-short:
 
 bench:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...
+
+# Benchmarks as data: run the tier-1 benchmarks with real bench time and
+# write ns/op, allocs/op and simulated cycles/sec (for FabricStep, compared
+# against the committed pre-refactor baseline) to BENCH_PR3.json. The bench
+# run goes to a file first so a failing run aborts the target instead of
+# being masked by the pipe.
+BENCHOUT ?= /tmp/quarc-bench.txt
+bench-json:
+	$(GO) test -run=^$$ -bench=. -benchmem -benchtime=$(BENCHTIME) . > $(BENCHOUT)
+	$(GO) run ./cmd/benchjson -baseline BENCH_PR3_BASELINE.txt < $(BENCHOUT) > BENCH_PR3.json
+	@echo "wrote BENCH_PR3.json"
 
 # Run the simulation-as-a-service daemon in the foreground.
 serve:

@@ -1,0 +1,46 @@
+package quarc_test
+
+import (
+	"testing"
+
+	"quarc"
+)
+
+// TestFabricStepSteadyStateAllocs is the allocation-regression guard behind
+// the BenchmarkFabricStep allocs/op number: after warmup, stepping a loaded
+// fabric must not allocate at all — the arbitration scratch, move buffers,
+// packet storage and tracker states are all recycled. CI runs it by name.
+func TestFabricStepSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the guard runs without -race")
+	}
+	fab, nodes, err := quarc.NewQuarc(quarc.QuarcConfig{N: 64, Depth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load every node, then warm up until free lists and scratch buffers
+	// reach their steady-state capacity.
+	for i, nd := range nodes {
+		nd.SendUnicast((i+7)%64, 16, 0)
+		if i%8 == 0 {
+			nd.SendBroadcast(16, 0)
+		}
+	}
+	refill := func() {
+		if fab.Tracker.InFlight() < 16 {
+			for j, nd := range nodes {
+				nd.SendUnicast((j+9)%64, 16, fab.Now())
+			}
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		fab.Step()
+		refill()
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		fab.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("Fabric.Step allocated %.1f times per cycle in steady state; want 0", allocs)
+	}
+}

@@ -146,6 +146,7 @@ func BenchmarkFabricStep(b *testing.B) {
 			nd.SendBroadcast(16, 0)
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		fab.Step()

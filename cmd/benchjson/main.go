@@ -1,0 +1,142 @@
+// Command benchjson converts `go test -bench` output into a JSON document,
+// so the repository can track its performance trajectory as data instead of
+// prose. `make bench-json` pipes the tier-1 benchmarks through it and writes
+// BENCH_PR3.json.
+//
+// For BenchmarkFabricStep one benchmark op is one simulated fabric cycle, so
+// the tool also derives simulated cycles per wall-clock second — the
+// simulator's headline throughput number. With -baseline pointing at a saved
+// raw benchmark log (the pre-refactor run committed as
+// BENCH_PR3_BASELINE.txt), the output embeds the baseline rows and the
+// fabric-step speedup against them.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | benchjson -baseline BENCH_PR3_BASELINE.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// CyclesPerSec is reported for FabricStep, where one op is one
+	// simulated cycle.
+	CyclesPerSec float64 `json:"cycles_per_sec,omitempty"`
+}
+
+// FabricStepDelta compares the current FabricStep against the baseline.
+type FabricStepDelta struct {
+	BaselineNsPerOp      float64 `json:"baseline_ns_per_op"`
+	NsPerOp              float64 `json:"ns_per_op"`
+	BaselineCyclesPerSec float64 `json:"baseline_cycles_per_sec"`
+	CyclesPerSec         float64 `json:"cycles_per_sec"`
+	Speedup              float64 `json:"speedup"`
+	BaselineAllocsPerOp  float64 `json:"baseline_allocs_per_op"`
+	AllocsPerOp          float64 `json:"allocs_per_op"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	Benchmarks []Benchmark      `json:"benchmarks"`
+	Baseline   []Benchmark      `json:"baseline,omitempty"`
+	FabricStep *FabricStepDelta `json:"fabric_step,omitempty"`
+}
+
+// benchLine matches `BenchmarkName[-P]  iters  ns/op [B/op allocs/op]` rows.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+
+func parse(r io.Reader) ([]Benchmark, error) {
+	var out []Benchmark
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		b := Benchmark{Name: strings.TrimPrefix(m[1], "Benchmark")}
+		b.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		b.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			b.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
+			b.AllocsPerOp, _ = strconv.ParseFloat(m[5], 64)
+		}
+		if b.Name == "FabricStep" && b.NsPerOp > 0 {
+			b.CyclesPerSec = 1e9 / b.NsPerOp
+		}
+		out = append(out, b)
+	}
+	return out, sc.Err()
+}
+
+func find(bs []Benchmark, name string) *Benchmark {
+	for i := range bs {
+		if bs[i].Name == name {
+			return &bs[i]
+		}
+	}
+	return nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "raw `go test -bench` log to compare FabricStep against")
+	flag.Parse()
+
+	current, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(current) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	rep := Report{Benchmarks: current}
+
+	if *baselinePath != "" {
+		f, err := os.Open(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Baseline, err = parse(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		base, cur := find(rep.Baseline, "FabricStep"), find(current, "FabricStep")
+		if base != nil && cur != nil && base.NsPerOp > 0 && cur.NsPerOp > 0 {
+			rep.FabricStep = &FabricStepDelta{
+				BaselineNsPerOp:      base.NsPerOp,
+				NsPerOp:              cur.NsPerOp,
+				BaselineCyclesPerSec: 1e9 / base.NsPerOp,
+				CyclesPerSec:         1e9 / cur.NsPerOp,
+				Speedup:              base.NsPerOp / cur.NsPerOp,
+				BaselineAllocsPerOp:  base.AllocsPerOp,
+				AllocsPerOp:          cur.AllocsPerOp,
+			}
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -37,8 +37,30 @@ func main() {
 		serial  = flag.Bool("serial", false, "run panel sweeps on a single goroutine")
 		jsonOut = flag.Bool("json", false,
 			"emit fig9/fig10/fig11 panels as NDJSON in the quarcd wire schema instead of tables")
+		pattern = flag.String("pattern", "uniform",
+			"unicast pattern for the fig9/fig10/fig11 panel sweeps: uniform, hotspot, antipodal, neighbor, bitreverse")
+		hotspotBias = flag.Float64("hotspot-bias", 0,
+			"probability a hotspot-pattern unicast targets node 0")
+		listModels = flag.Bool("list-models", false, "list the registered network models and exit")
 	)
 	flag.Parse()
+
+	if *listModels {
+		for _, m := range service.Models() {
+			fmt.Printf("%-18s (e.g. N=%d)  %s\n", m.Name, m.ExampleN, m.Description)
+		}
+		return
+	}
+
+	pat, err := service.ParsePattern(*pattern)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "quarcbench: %v\n", err)
+		os.Exit(2)
+	}
+	if *hotspotBias < 0 || *hotspotBias > 1 {
+		fmt.Fprintf(os.Stderr, "quarcbench: -hotspot-bias %v outside [0,1]\n", *hotspotBias)
+		os.Exit(2)
+	}
 	if *jsonOut {
 		switch *which {
 		case "fig9", "fig10", "fig11":
@@ -74,6 +96,7 @@ func main() {
 	}
 	runPanels := func(name string, panels []experiments.PanelSpec) {
 		for pi, spec := range panels {
+			spec.Pattern, spec.HotspotBias = pat, *hotspotBias
 			start := time.Now()
 			pr, err := runPanel(spec, opts)
 			if err != nil {

@@ -1,14 +1,19 @@
 // Command quarcd serves the simulator over a JSON HTTP API: submit single
-// runs (POST /v1/runs) or figure-panel sweeps (POST /v1/panels), poll or wait
-// on jobs (GET /v1/jobs/{id}?wait=1), stream per-point progress as NDJSON
+// runs (POST /v1/runs) or figure-panel sweeps (POST /v1/panels), enumerate
+// the registered network models (GET /v1/models), poll or wait on jobs
+// (GET /v1/jobs/{id}?wait=1), stream per-point progress as NDJSON
 // (GET /v1/jobs/{id}/events), cancel (POST /v1/jobs/{id}/cancel), and scrape
 // operational counters (GET /metrics). Identical requests are served
-// bit-identically from a content-addressed LRU result cache.
+// bit-identically from a content-addressed LRU result cache, and an
+// identical uncached request arriving while its twin is queued or running
+// coalesces onto it instead of simulating twice.
 //
 // Examples:
 //
 //	quarcd -addr :8080
+//	curl -s localhost:8080/v1/models
 //	curl -s localhost:8080/v1/runs?wait=1 -d '{"n":16,"rate":0.01,"beta":0.05}'
+//	curl -s localhost:8080/v1/runs?wait=1 -d '{"topo":"ring","n":16,"rate":0.005}'
 //	curl -s localhost:8080/v1/panels -d '{"n":16,"beta":0.05,"opts":{"replicates":3}}'
 //	curl -N localhost:8080/v1/jobs/j000001/events
 //	curl -s localhost:8080/metrics

@@ -20,27 +20,39 @@ import (
 
 func main() {
 	var (
-		topoName   = flag.String("topo", "quarc", "topology: quarc, spidergon, quarc-chainbcast, quarc-1queue, mesh, torus")
-		n          = flag.Int("n", 16, "number of nodes (multiple of 4 for rings, square for meshes)")
-		m          = flag.Int("m", 16, "message length in flits")
-		beta       = flag.Float64("beta", 0.05, "broadcast fraction of generated messages")
-		rate       = flag.Float64("rate", 0.01, "offered load, messages per node per cycle")
-		pattern    = flag.String("pattern", "uniform", "unicast pattern: uniform, hotspot, antipodal, neighbor, bitreverse")
-		warmup     = flag.Int64("warmup", 3000, "warmup cycles (not measured)")
-		cycles     = flag.Int64("cycles", 12000, "measured cycles")
-		drain      = flag.Int64("drain", 40000, "max drain cycles after generation stops")
-		depth      = flag.Int("depth", 4, "virtual-channel buffer depth in flits")
-		seed       = flag.Uint64("seed", 1, "random seed")
-		replicates = flag.Int("replicates", 1,
+		topoName    = flag.String("topo", "quarc", "network model by registry name (see -list-models)")
+		n           = flag.Int("n", 16, "number of nodes (multiple of 4 for rings, square for meshes)")
+		m           = flag.Int("m", 16, "message length in flits")
+		beta        = flag.Float64("beta", 0.05, "broadcast fraction of generated messages")
+		rate        = flag.Float64("rate", 0.01, "offered load, messages per node per cycle")
+		pattern     = flag.String("pattern", "uniform", "unicast pattern: uniform, hotspot, antipodal, neighbor, bitreverse")
+		hotspotBias = flag.Float64("hotspot-bias", 0, "probability a hotspot-pattern unicast targets node 0")
+		burstOn     = flag.Float64("burst-on", 0, "bursty traffic: mean burst length in cycles (use with -burst-off; -rate stays the mean load)")
+		burstOff    = flag.Float64("burst-off", 0, "bursty traffic: mean silence length in cycles")
+		warmup      = flag.Int64("warmup", 3000, "warmup cycles (not measured)")
+		cycles      = flag.Int64("cycles", 12000, "measured cycles")
+		drain       = flag.Int64("drain", 40000, "max drain cycles after generation stops")
+		depth       = flag.Int("depth", 4, "virtual-channel buffer depth in flits")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		replicates  = flag.Int("replicates", 1,
 			"independent replicates with derived seeds; >1 reports mean ± 95% CI across them")
 		workers = flag.Int("workers", 0, "replicate goroutines (0 = GOMAXPROCS)")
 		jsonOut = flag.Bool("json", false,
 			"emit the result as JSON in the quarcd wire schema instead of text")
+		listModels = flag.Bool("list-models", false, "list the registered network models and exit")
 	)
 	flag.Parse()
 
-	// The wire vocabulary lives in one place: the service schema.
-	topo, err := service.ParseTopology(*topoName)
+	if *listModels {
+		for _, m := range service.Models() {
+			fmt.Printf("%-18s (e.g. -n %d)  %s\n", m.Name, m.ExampleN, m.Description)
+		}
+		return
+	}
+
+	// The wire vocabulary lives in one place: the service schema, which in
+	// turn defers to the model registry.
+	model, err := service.ParseModel(*topoName)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "quarcsim: %v\n", err)
 		os.Exit(2)
@@ -50,10 +62,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "quarcsim: %v\n", err)
 		os.Exit(2)
 	}
+	if *hotspotBias < 0 || *hotspotBias > 1 {
+		fmt.Fprintf(os.Stderr, "quarcsim: -hotspot-bias %v outside [0,1]\n", *hotspotBias)
+		os.Exit(2)
+	}
 
 	res, reps, err := quarc.RunReplicated(quarc.Config{
-		Topo: topo, N: *n, MsgLen: *m, Beta: *beta, Rate: *rate,
-		Pattern: pat, Depth: *depth,
+		Model: model, N: *n, MsgLen: *m, Beta: *beta, Rate: *rate,
+		Pattern: pat, HotspotBias: *hotspotBias,
+		BurstMeanOn: *burstOn, BurstMeanOff: *burstOff, Depth: *depth,
 		Warmup: *warmup, Measure: *cycles, Drain: *drain, Seed: *seed,
 	}, *replicates, *workers)
 	if err != nil {
@@ -74,9 +91,12 @@ func main() {
 		return
 	}
 
-	fmt.Printf("topology        %v\n", topo)
+	fmt.Printf("topology        %s\n", model)
 	fmt.Printf("nodes           %d\n", *n)
 	fmt.Printf("message length  %d flits\n", *m)
+	if *burstOn > 0 {
+		fmt.Printf("bursty source   on %.0f / off %.0f cycles (mean load unchanged)\n", *burstOn, *burstOff)
+	}
 	if len(reps) > 1 {
 		fmt.Printf("replicates      %d (latencies are means ± 95%% CI across replicates)\n", len(reps))
 	}

@@ -3,24 +3,26 @@ package experiments
 import (
 	"testing"
 
+	"quarc/internal/model"
 	"quarc/internal/sim"
 	"quarc/internal/traffic"
 )
 
-// TestMessageConservationAcrossTopologies drives every topology the harness
-// can build with live traffic and checks conservation at the tracker: every
-// injected message is either delivered (completed) or still in flight, at
-// every sampled cycle, and after the drain nothing is in flight, nothing is
-// lost and nothing is delivered twice. The subtests run in parallel, so
-// under -race this also shakes out cross-run sharing bugs in the models.
-func TestMessageConservationAcrossTopologies(t *testing.T) {
-	topos := []Topology{TopoQuarc, TopoSpidergon, TopoQuarcChainBcast,
-		TopoQuarcSingleQueue, TopoMesh, TopoTorus}
-	for _, topo := range topos {
-		topo := topo
-		t.Run(topo.String(), func(t *testing.T) {
+// TestMessageConservationAcrossModels drives every registered model with
+// live traffic and checks conservation at the tracker: every injected
+// message is either delivered (completed) or still in flight, at every
+// sampled cycle, and after the drain nothing is in flight, nothing is lost
+// and nothing is delivered twice. The model list comes from the registry,
+// so a newly registered model inherits the property with no edits here; the
+// subtests run in parallel, so under -race this also shakes out cross-run
+// sharing bugs in the models.
+func TestMessageConservationAcrossModels(t *testing.T) {
+	for _, name := range model.Names() {
+		name := name
+		m, _ := model.Lookup(name)
+		t.Run(name, func(t *testing.T) {
 			t.Parallel()
-			cfg := Config{Topo: topo, N: 16, MsgLen: 4, Beta: 0.1, Rate: 0.008,
+			cfg := Config{Model: name, N: m.ExampleN, MsgLen: 4, Beta: 0.1, Rate: 0.008,
 				Depth: 4, Warmup: 200, Measure: 1500, Drain: 20000, Seed: 11}
 			fab, nodes, err := build(cfg)
 			if err != nil {

@@ -5,11 +5,9 @@ import (
 	"strings"
 
 	"quarc/internal/analytic"
-	"quarc/internal/network"
 	"quarc/internal/plot"
 	"quarc/internal/router"
 	"quarc/internal/sim"
-	"quarc/internal/stats"
 	"quarc/internal/traffic"
 )
 
@@ -148,52 +146,15 @@ func Bursty(n, msgLen int, beta float64, opts RunOpts) (string, error) {
 	return b.String(), nil
 }
 
-// runBursty is Run with the ON/OFF source instead of the Bernoulli source.
+// runBursty is Run with the ON/OFF source instead of the Bernoulli source:
+// bursts of ~40 cycles at 4x concentration (off 120), the same mean load.
+// It rides the Config.BurstMeanOn/BurstMeanOff path, so the CLI's bursty
+// report and a wire-API bursty run exercise identical code.
 func runBursty(topo Topology, n, msgLen int, beta, meanRate float64, opts RunOpts) (Result, error) {
-	cfg := Config{Topo: topo, N: n, MsgLen: msgLen, Beta: beta, Rate: meanRate,
+	return Run(Config{Topo: topo, N: n, MsgLen: msgLen, Beta: beta, Rate: meanRate,
+		BurstMeanOn: 40, BurstMeanOff: 120,
 		Warmup: opts.Warmup, Measure: opts.Measure, Drain: opts.Drain,
-		Depth: opts.Depth, Seed: opts.Seed}.withDefaults()
-	fab, nodes, err := build(cfg)
-	if err != nil {
-		return Result{}, err
-	}
-	var uni, bc stats.Accumulator
-	measureEnd := cfg.Warmup + cfg.Measure
-	fab.Tracker.OnDone = func(r network.MessageRecord) {
-		if r.Gen < cfg.Warmup || r.Gen >= measureEnd {
-			return
-		}
-		if r.Class == network.ClassUnicast {
-			uni.Add(float64(r.Last - r.Gen))
-		} else {
-			bc.Add(float64(r.Last - r.Gen))
-		}
-	}
-	var k sim.Kernel
-	senders := make([]traffic.Sender, len(nodes))
-	for i, nd := range nodes {
-		senders[i] = nd
-	}
-	// ON/OFF parameters: bursts of ~4 mean messages, matching mean load.
-	meanOn := 40.0
-	onRate := meanRate * 4 // 4x concentration
-	meanOff := meanOn * (onRate/meanRate - 1)
-	if _, err := traffic.InstallBursty(&k, traffic.BurstyConfig{
-		N: cfg.N, OnRate: onRate, MeanOn: meanOn, MeanOff: meanOff,
-		Beta: cfg.Beta, MsgLen: cfg.MsgLen, Seed: cfg.Seed, Until: measureEnd,
-	}, senders); err != nil {
-		return Result{}, err
-	}
-	k.Ticker(0, 1, sim.PriFabric, func(sim.Time) bool { fab.Step(); return true })
-	k.Run(measureEnd)
-	for i := int64(0); i < cfg.Drain && fab.Tracker.InFlight() > 0; i++ {
-		fab.Step()
-	}
-	return Result{
-		Cfg: cfg, UnicastMean: uni.Mean(), UnicastCount: uni.Count(),
-		BcastMean: bc.Mean(), BcastCount: bc.Count(),
-		Leftover: fab.Tracker.InFlight(),
-	}, nil
+		Depth: opts.Depth, Seed: opts.Seed})
 }
 
 // HotspotComparison stresses both architectures with a hotspot pattern: a

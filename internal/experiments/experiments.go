@@ -12,17 +12,23 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"strings"
 
-	"quarc/internal/mesh"
+	"quarc/internal/model"
+	// The built-in model packages register themselves with internal/model
+	// from init functions; this blank import is what links them in. The
+	// harness itself resolves models purely by name.
+	_ "quarc/internal/models"
 	"quarc/internal/network"
-	"quarc/internal/quarc"
 	"quarc/internal/sim"
-	"quarc/internal/spidergon"
 	"quarc/internal/stats"
 	"quarc/internal/traffic"
 )
 
-// Topology selects the network model under test.
+// Topology is a compatibility shim over the model registry: the original
+// harness selected models through this enum, and the public API, the wire
+// format and the canonical cache keys still speak it for the six original
+// models. New models have no enum member — select them with Config.Model.
 type Topology int
 
 const (
@@ -37,6 +43,7 @@ const (
 	TopoTorus
 )
 
+// String returns the registry (and wire) name of the enum member.
 func (t Topology) String() string {
 	switch t {
 	case TopoQuarc:
@@ -55,9 +62,35 @@ func (t Topology) String() string {
 	return fmt.Sprintf("Topology(%d)", int(t))
 }
 
+// legacyTopologies maps the six original model names to their enum members
+// (the inverse of Topology.String). Configs selecting one of these by name
+// canonicalise to the enum so their cache keys match pre-registry requests.
+var legacyTopologies = map[string]Topology{
+	"quarc":            TopoQuarc,
+	"spidergon":        TopoSpidergon,
+	"quarc-chainbcast": TopoQuarcChainBcast,
+	"quarc-1queue":     TopoQuarcSingleQueue,
+	"mesh":             TopoMesh,
+	"torus":            TopoTorus,
+}
+
+// TopologyByName resolves one of the six original model names to its enum
+// member. Models registered later have no Topology value; use Config.Model.
+func TopologyByName(name string) (Topology, bool) {
+	t, ok := legacyTopologies[strings.ToLower(name)]
+	return t, ok
+}
+
 // Config is a single simulation run.
 type Config struct {
-	Topo    Topology
+	// Topo selects one of the six original models. Ignored when Model is
+	// set.
+	Topo Topology
+	// Model selects the network model by registry name; it is how models
+	// without a Topology enum member are requested. WithDefaults
+	// canonicalises legacy names back onto Topo, so the field stays empty
+	// (and the canonical encoding unchanged) for the original six.
+	Model   string  `json:",omitempty"`
 	N       int     // nodes (square number for mesh/torus)
 	MsgLen  int     // M, flits per message
 	Beta    float64 // broadcast fraction
@@ -71,10 +104,66 @@ type Config struct {
 	Measure     int64
 	Drain       int64
 	Seed        uint64
+	// BurstMeanOn/BurstMeanOff switch the workload from the Bernoulli
+	// source to the two-state MMBP bursty source of internal/traffic: mean
+	// burst and silence lengths in cycles (both must be set together).
+	// Rate keeps its meaning as the long-run mean offered load; the ON-state
+	// rate is Rate*(MeanOn+MeanOff)/MeanOn. Bursty runs use the Uniform
+	// pattern only.
+	BurstMeanOn  float64 `json:",omitempty"`
+	BurstMeanOff float64 `json:",omitempty"`
 }
 
-// withDefaults fills unset fields.
+// ModelName returns the registry name of the model this configuration
+// selects.
+func (c Config) ModelName() string {
+	if c.Model != "" {
+		return strings.ToLower(c.Model)
+	}
+	return c.Topo.String()
+}
+
+// Bursty reports whether the configuration requests the MMBP source. Any
+// non-zero value engages it (and must then pass validation), so malformed
+// negative knobs are rejected instead of silently simulating the smooth
+// source under a distinct cache key.
+func (c Config) Bursty() bool { return c.BurstMeanOn != 0 || c.BurstMeanOff != 0 }
+
+// ValidateWorkload checks the cross-field workload constraints that the
+// build step cannot (it sees only N and Depth).
+func (c Config) ValidateWorkload() error {
+	if c.Bursty() {
+		if c.BurstMeanOn < 1 || c.BurstMeanOff < 1 {
+			return fmt.Errorf("experiments: burst mean on/off must both be >= 1 cycle")
+		}
+		if c.Pattern != traffic.Uniform {
+			return fmt.Errorf("experiments: bursty traffic supports the uniform pattern only")
+		}
+		if on := c.burstOnRate(); on > 1 {
+			return fmt.Errorf("experiments: bursty on-rate %.4f exceeds 1 msg/node/cycle "+
+				"(rate too high for this on/off duty cycle)", on)
+		}
+	}
+	return nil
+}
+
+// burstOnRate is the ON-state arrival rate that yields mean offered load
+// Rate under the configured duty cycle.
+func (c Config) burstOnRate() float64 {
+	return c.Rate * (c.BurstMeanOn + c.BurstMeanOff) / c.BurstMeanOn
+}
+
+// withDefaults fills unset fields and canonicalises the model selector:
+// a Model naming one of the six original topologies collapses onto the Topo
+// enum, keeping the canonical encoding (and therefore the service cache
+// keys) of those models exactly what it was before the registry existed.
 func (c Config) withDefaults() Config {
+	if c.Model != "" {
+		c.Model = strings.ToLower(c.Model)
+		if t, ok := TopologyByName(c.Model); ok {
+			c.Topo, c.Model = t, ""
+		}
+	}
 	if c.Depth == 0 {
 		c.Depth = 4
 	}
@@ -119,57 +208,19 @@ type Result struct {
 }
 
 // node is the adapter surface the harness needs.
-type node interface {
-	traffic.Sender
-	Backlog() int
-}
+type node = model.Node
 
-// build assembles the requested network.
+// build assembles the requested network by registry lookup. The harness
+// carries no topology-specific knowledge: every model (including the Quarc
+// ablation presets) is a registration.
 func build(cfg Config) (*network.Fabric, []node, error) {
-	switch cfg.Topo {
-	case TopoQuarc, TopoQuarcChainBcast, TopoQuarcSingleQueue:
-		qc := quarc.Config{
-			N: cfg.N, Depth: cfg.Depth,
-			ChainBroadcast: cfg.Topo == TopoQuarcChainBcast,
-			SingleQueue:    cfg.Topo == TopoQuarcSingleQueue,
-		}
-		fab, ts, err := quarc.Build(qc)
-		if err != nil {
-			return nil, nil, err
-		}
-		nodes := make([]node, len(ts))
-		for i, t := range ts {
-			nodes[i] = t
-		}
-		return fab, nodes, nil
-	case TopoSpidergon:
-		fab, as, err := spidergon.Build(spidergon.Config{N: cfg.N, Depth: cfg.Depth})
-		if err != nil {
-			return nil, nil, err
-		}
-		nodes := make([]node, len(as))
-		for i, a := range as {
-			nodes[i] = a
-		}
-		return fab, nodes, nil
-	case TopoMesh, TopoTorus:
-		side := int(math.Round(math.Sqrt(float64(cfg.N))))
-		if side*side != cfg.N {
-			return nil, nil, fmt.Errorf("experiments: mesh size %d is not square", cfg.N)
-		}
-		fab, as, err := mesh.Build(mesh.Config{
-			W: side, H: side, Torus: cfg.Topo == TopoTorus, Depth: cfg.Depth,
-		})
-		if err != nil {
-			return nil, nil, err
-		}
-		nodes := make([]node, len(as))
-		for i, a := range as {
-			nodes[i] = a
-		}
-		return fab, nodes, nil
+	name := cfg.ModelName()
+	m, ok := model.Lookup(name)
+	if !ok {
+		return nil, nil, fmt.Errorf("experiments: unknown model %q (registered: %s)",
+			name, strings.Join(model.Names(), ", "))
 	}
-	return nil, nil, fmt.Errorf("experiments: unknown topology %v", cfg.Topo)
+	return m.Build(model.BuildConfig{N: cfg.N, Depth: cfg.Depth})
 }
 
 // WithDefaults returns the configuration with unset fields replaced by their
@@ -197,6 +248,9 @@ func Run(cfg Config) (Result, error) { return RunContext(context.Background(), c
 // without perturbing it.
 func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.ValidateWorkload(); err != nil {
+		return Result{}, err
+	}
 	fab, nodes, err := build(cfg)
 	if err != nil {
 		return Result{}, err
@@ -230,11 +284,20 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	for i, nd := range nodes {
 		senders[i] = nd
 	}
-	_, err = traffic.Install(&k, traffic.Config{
-		N: cfg.N, Rate: cfg.Rate, Beta: cfg.Beta, MsgLen: cfg.MsgLen,
-		Pattern: cfg.Pattern, HotspotBias: cfg.HotspotBias,
-		Seed: cfg.Seed, Until: measureEnd,
-	}, senders)
+	if cfg.Bursty() {
+		_, err = traffic.InstallBursty(&k, traffic.BurstyConfig{
+			N: cfg.N, OnRate: cfg.burstOnRate(),
+			MeanOn: cfg.BurstMeanOn, MeanOff: cfg.BurstMeanOff,
+			Beta: cfg.Beta, MsgLen: cfg.MsgLen,
+			Seed: cfg.Seed, Until: measureEnd,
+		}, senders)
+	} else {
+		_, err = traffic.Install(&k, traffic.Config{
+			N: cfg.N, Rate: cfg.Rate, Beta: cfg.Beta, MsgLen: cfg.MsgLen,
+			Pattern: cfg.Pattern, HotspotBias: cfg.HotspotBias,
+			Seed: cfg.Seed, Until: measureEnd,
+		}, senders)
+	}
 	if err != nil {
 		return Result{}, err
 	}

@@ -7,6 +7,7 @@ import (
 	"quarc/internal/analytic"
 	"quarc/internal/plot"
 	"quarc/internal/stats"
+	"quarc/internal/traffic"
 )
 
 // PanelSpec is one panel of Figs 9-11: a (N, M, beta) configuration swept
@@ -19,6 +20,11 @@ type PanelSpec struct {
 	Beta   float64
 	Rates  []float64 // offered loads; if nil, a grid is derived from the
 	// analytic channel-capacity bound
+
+	// Pattern and HotspotBias shape the unicast traffic of every point in
+	// the sweep; the zero values are the paper's uniform workload.
+	Pattern     traffic.Pattern
+	HotspotBias float64
 }
 
 // RunOpts scales the simulation effort and the sweep execution.

@@ -139,7 +139,8 @@ func panelPoints(spec PanelSpec, opts RunOpts) ([]sweepPoint, []float64) {
 					Topo: topo, RateIndex: ri, Replicate: rep,
 					Cfg: Config{
 						Topo: topo, N: spec.N, MsgLen: spec.MsgLen, Beta: spec.Beta,
-						Rate: rate, Depth: opts.Depth,
+						Rate: rate, Pattern: spec.Pattern, HotspotBias: spec.HotspotBias,
+						Depth:  opts.Depth,
 						Warmup: opts.Warmup, Measure: opts.Measure, Drain: opts.Drain,
 						Seed: PointSeed(opts.Seed, topo, ri, rep),
 					},

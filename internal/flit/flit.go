@@ -89,14 +89,22 @@ func (f Flit) IsLast() bool { return f.Kind == Tail }
 // tail (paper §2.6: "Each packet must have the header and tail flits"), so
 // the minimum length is 2. The returned slice aliases no shared state.
 func Packet(h Flit, length int) []Flit {
+	return AppendPacket(nil, h, length)
+}
+
+// AppendPacket assembles a packet into dst (which must be empty but may
+// carry reusable capacity) and returns the extended slice. Every element is
+// fully overwritten, so recycled storage never leaks state between packets;
+// the source-queue free lists in internal/network use it to keep message
+// injection allocation-free in steady state.
+func AppendPacket(dst []Flit, h Flit, length int) []Flit {
 	if length < 2 {
 		panic("flit: packet length must be at least 2 (header + tail)")
 	}
 	h.Kind = Header
 	h.Seq = 0
 	h.PktLen = length
-	fl := make([]Flit, length)
-	fl[0] = h
+	dst = append(dst, h)
 	for i := 1; i < length; i++ {
 		f := h
 		f.Kind = Body
@@ -105,9 +113,9 @@ func Packet(h Flit, length int) []Flit {
 		if i == length-1 {
 			f.Kind = Tail
 		}
-		fl[i] = f
+		dst = append(dst, f)
 	}
-	return fl
+	return dst
 }
 
 // Validate checks the structural invariants of a packet: header first, tail

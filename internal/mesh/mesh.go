@@ -224,7 +224,8 @@ func (a *Adapter) SendUnicast(dst, msgLen int, now int64) uint64 {
 		PktID: a.fab.NextPktID(), MsgID: msgID, Gen: now,
 	}
 	a.fab.Tracker.Register(msgID, network.ClassUnicast, a.Node, now, 1)
-	a.Queues[0].PushBack(flit.Packet(h, msgLen))
+	q := &a.Queues[0]
+	q.PushBack(q.NewPacket(h, msgLen))
 	return msgID
 }
 
@@ -240,7 +241,8 @@ func (a *Adapter) SendBroadcast(msgLen int, now int64) uint64 {
 			Traffic: flit.Unicast, Src: a.Node, Dst: d,
 			PktID: a.fab.NextPktID(), MsgID: msgID, Gen: now,
 		}
-		a.Queues[0].PushBack(flit.Packet(h, msgLen))
+		q := &a.Queues[0]
+		q.PushBack(q.NewPacket(h, msgLen))
 	}
 	return msgID
 }

@@ -1,0 +1,53 @@
+package mesh
+
+import (
+	"fmt"
+	"math"
+
+	"quarc/internal/model"
+	"quarc/internal/network"
+)
+
+// checkSquare validates a node count for the square mesh/torus builds the
+// registry exposes (the package itself also supports rectangles via Config).
+// The 64-node cap matches the ring models': the fabric tracker dedupes
+// collective deliveries with a 64-bit node mask, so larger networks could
+// never complete a broadcast.
+func checkSquare(n int) error {
+	side := int(math.Round(math.Sqrt(float64(n))))
+	if n < 4 || side*side != n {
+		return fmt.Errorf("mesh: size %d is not a square of at least 4 nodes", n)
+	}
+	if n > 64 {
+		return fmt.Errorf("mesh: size %d exceeds the 64-node tracker limit", n)
+	}
+	return nil
+}
+
+func init() {
+	register := func(name, desc string, torus bool) {
+		model.Register(model.Model{
+			Name:        name,
+			Description: desc,
+			CheckN:      checkSquare,
+			ExampleN:    16,
+			Build: func(bc model.BuildConfig) (*network.Fabric, []model.Node, error) {
+				if err := checkSquare(bc.N); err != nil {
+					return nil, nil, err
+				}
+				side := int(math.Round(math.Sqrt(float64(bc.N))))
+				fab, as, err := Build(Config{W: side, H: side, Torus: torus, Depth: bc.Depth})
+				if err != nil {
+					return nil, nil, err
+				}
+				nodes := make([]model.Node, len(as))
+				for i, a := range as {
+					nodes[i] = a
+				}
+				return fab, nodes, nil
+			},
+		})
+	}
+	register("mesh", "2D mesh with XY routing, software broadcast (n-1 unicasts)", false)
+	register("torus", "2D torus with XY routing and per-dimension dateline VCs", true)
+}

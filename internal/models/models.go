@@ -1,0 +1,15 @@
+// Package models links the built-in network models into the binary. Each
+// model package registers itself with internal/model from an init function
+// (the database/sql driver pattern); importing this package for side
+// effects is what makes the registrations run. The experiment harness
+// imports it so that experiments.Run resolves every built-in model without
+// naming any topology package, and a new model becomes available everywhere
+// by adding one blank import here.
+package models
+
+import (
+	_ "quarc/internal/mesh"
+	_ "quarc/internal/quarc"
+	_ "quarc/internal/ring"
+	_ "quarc/internal/spidergon"
+)

@@ -11,9 +11,35 @@ import (
 // adapter, streaming the front packet flit by flit. The open-loop traffic
 // model of the paper's evaluation queues messages here while the injection
 // channel is busy; the queue population is the saturation signal.
+//
+// The queue recycles finished packet storage: dequeueing advances a head
+// index instead of reslicing, the backing array is compacted when it drains,
+// and fully injected packets return to a bounded free list that NewPacket
+// reuses — so a steady-state simulation injects messages without allocating.
 type PacketQueue struct {
 	pkts [][]flit.Flit
-	pos  int // next flit of the front packet
+	head int           // index of the front packet in pkts
+	pos  int           // next flit of the front packet
+	free [][]flit.Flit // recycled packet storage for NewPacket
+}
+
+// MaxFreePackets bounds a per-queue recycled-packet list; beyond it,
+// finished packets are released to the garbage collector. Exported so
+// adapter-side queues with the same recycling discipline (the quarc
+// single-queue ablation) share the bound.
+const MaxFreePackets = 16
+
+// NewPacket assembles a packet of length flits headed by h, reusing a
+// previously injected packet's storage when available. The returned slice is
+// owned by the caller until it is pushed back into a queue.
+func (q *PacketQueue) NewPacket(h flit.Flit, length int) []flit.Flit {
+	if n := len(q.free); n > 0 {
+		buf := q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+		return flit.AppendPacket(buf[:0], h, length)
+	}
+	return flit.Packet(h, length)
 }
 
 // PushBack appends a packet.
@@ -31,9 +57,16 @@ func (q *PacketQueue) PushFront(p []flit.Flit) {
 	if len(p) < 2 {
 		panic("network: packet too short")
 	}
-	at := 0
-	if q.pos > 0 && len(q.pkts) > 0 {
-		at = 1
+	if q.pos == 0 && q.head > 0 {
+		// The drained prefix has a free slot just before the front packet:
+		// insert in O(1) instead of shifting the live region.
+		q.head--
+		q.pkts[q.head] = p
+		return
+	}
+	at := q.head
+	if q.pos > 0 && q.head < len(q.pkts) {
+		at = q.head + 1
 	}
 	q.pkts = append(q.pkts, nil)
 	copy(q.pkts[at+1:], q.pkts[at:])
@@ -42,37 +75,53 @@ func (q *PacketQueue) PushFront(p []flit.Flit) {
 
 // NextFlit peeks at the next flit to inject.
 func (q *PacketQueue) NextFlit() (flit.Flit, bool) {
-	if len(q.pkts) == 0 {
+	if q.head == len(q.pkts) {
 		return flit.Flit{}, false
 	}
-	return q.pkts[0][q.pos], true
+	return q.pkts[q.head][q.pos], true
 }
 
 // Advance consumes the peeked flit.
 func (q *PacketQueue) Advance() {
-	if len(q.pkts) == 0 {
+	if q.head == len(q.pkts) {
 		panic("network: Advance on empty queue")
 	}
 	q.pos++
-	if q.pos == len(q.pkts[0]) {
-		q.pkts[0] = nil
-		q.pkts = q.pkts[1:]
+	if q.pos == len(q.pkts[q.head]) {
+		done := q.pkts[q.head]
+		q.pkts[q.head] = nil
+		q.head++
 		q.pos = 0
+		if len(q.free) < MaxFreePackets {
+			q.free = append(q.free, done)
+		}
+		switch {
+		case q.head == len(q.pkts):
+			q.pkts = q.pkts[:0]
+			q.head = 0
+		case q.head > 32 && q.head*2 >= len(q.pkts):
+			// Compact the drained prefix so a saturated queue's backing
+			// array stays proportional to its live population.
+			n := copy(q.pkts, q.pkts[q.head:])
+			for i := n; i < len(q.pkts); i++ {
+				q.pkts[i] = nil
+			}
+			q.pkts = q.pkts[:n]
+			q.head = 0
+		}
 	}
 }
 
 // Packets returns the queued packet count.
-func (q *PacketQueue) Packets() int { return len(q.pkts) }
+func (q *PacketQueue) Packets() int { return len(q.pkts) - q.head }
 
 // FlitBacklog returns the number of flits still to inject.
 func (q *PacketQueue) FlitBacklog() int {
 	total := 0
-	for i, p := range q.pkts {
-		total += len(p)
-		if i == 0 {
-			total -= q.pos
-		}
+	for i := q.head; i < len(q.pkts); i++ {
+		total += len(q.pkts[i])
 	}
+	total -= q.pos
 	return total
 }
 

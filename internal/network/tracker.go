@@ -43,6 +43,10 @@ type Tracker struct {
 	inflight map[uint64]*trackState
 	OnDone   func(MessageRecord)
 
+	// free recycles completed trackStates so steady-state registration does
+	// not allocate; the list grows to the peak in-flight population.
+	free []*trackState
+
 	completed  uint64
 	duplicates uint64
 }
@@ -65,9 +69,18 @@ func (t *Tracker) Register(msgID uint64, class MessageClass, src int, gen int64,
 	if _, dup := t.inflight[msgID]; dup {
 		panic(fmt.Sprintf("network: duplicate message id %d", msgID))
 	}
-	t.inflight[msgID] = &trackState{rec: MessageRecord{
+	var st *trackState
+	if n := len(t.free); n > 0 {
+		st = t.free[n-1]
+		t.free[n-1] = nil
+		t.free = t.free[:n-1]
+	} else {
+		st = new(trackState)
+	}
+	*st = trackState{rec: MessageRecord{
 		MsgID: msgID, Class: class, Src: src, Gen: gen, Expected: expected, First: -1,
 	}}
+	t.inflight[msgID] = st
 }
 
 // Delivered reports the tail of msgID arriving at node. Unknown ids panic
@@ -97,6 +110,7 @@ func (t *Tracker) Delivered(msgID uint64, node int, now int64) {
 		if t.OnDone != nil {
 			t.OnDone(st.rec)
 		}
+		t.free = append(t.free, st)
 	}
 }
 

@@ -33,11 +33,24 @@ type Transceiver struct {
 type PacketPortQueue struct {
 	items []portPkt
 	pos   int // next flit of the front packet
+	free  [][]flit.Flit
 }
 
 type portPkt struct {
 	pkt  []flit.Flit
 	port int
+}
+
+// newPacket assembles a packet, reusing storage from a previously streamed
+// one when available (same recycling discipline as network.PacketQueue).
+func (p *PacketPortQueue) newPacket(h flit.Flit, length int) []flit.Flit {
+	if n := len(p.free); n > 0 {
+		buf := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return flit.AppendPacket(buf[:0], h, length)
+	}
+	return flit.Packet(h, length)
 }
 
 func (p *PacketPortQueue) push(pkt []flit.Flit, port int) {
@@ -66,6 +79,9 @@ func (p *PacketPortQueue) next() (flit.Flit, int, bool) {
 func (p *PacketPortQueue) advance() {
 	p.pos++
 	if p.pos == len(p.items[0].pkt) {
+		if len(p.free) < network.MaxFreePackets {
+			p.free = append(p.free, p.items[0].pkt)
+		}
 		p.items[0] = portPkt{}
 		p.items = p.items[1:]
 		p.pos = 0
@@ -122,22 +138,25 @@ func (t *Transceiver) Backlog() int {
 	return t.BaseAdapter.Backlog()
 }
 
-func (t *Transceiver) enqueue(pkt []flit.Flit, q topology.Quadrant) {
-	port := injPortFor(q)
+// enqueue assembles a packet of length flits headed by h in the quadrant's
+// source queue, reusing that queue's recycled storage.
+func (t *Transceiver) enqueue(h flit.Flit, length int, q topology.Quadrant) {
 	if t.cfg.SingleQueue {
-		t.single.push(pkt, port)
+		t.single.push(t.single.newPacket(h, length), injPortFor(q))
 		return
 	}
-	t.Queues[int(q)].PushBack(pkt)
+	sq := &t.Queues[int(q)]
+	sq.PushBack(sq.NewPacket(h, length))
 }
 
-func (t *Transceiver) enqueueFront(pkt []flit.Flit, q topology.Quadrant) {
+func (t *Transceiver) enqueueFront(h flit.Flit, length int, q topology.Quadrant) {
 	if t.cfg.SingleQueue {
 		// Chain retransmissions bypass PE traffic even in the ablation.
-		t.single.pushFront(pkt, injPortFor(q))
+		t.single.pushFront(t.single.newPacket(h, length), injPortFor(q))
 		return
 	}
-	t.Queues[int(q)].PushFront(pkt)
+	sq := &t.Queues[int(q)]
+	sq.PushFront(sq.NewPacket(h, length))
 }
 
 // SendUnicast queues a unicast message of msgLen flits for dst.
@@ -151,7 +170,7 @@ func (t *Transceiver) SendUnicast(dst, msgLen int, now int64) uint64 {
 		PktID: t.fab.NextPktID(), MsgID: msgID, Gen: now,
 	}
 	t.fab.Tracker.Register(msgID, network.ClassUnicast, t.Node, now, 1)
-	t.enqueue(flit.Packet(h, msgLen), topology.QuadrantOf(t.n, t.Node, dst))
+	t.enqueue(h, msgLen, topology.QuadrantOf(t.n, t.Node, dst))
 	return msgID
 }
 
@@ -171,7 +190,7 @@ func (t *Transceiver) SendBroadcast(msgLen int, now int64) uint64 {
 			Traffic: flit.Broadcast, Src: t.Node, Dst: b.Last,
 			PktID: t.fab.NextPktID(), MsgID: msgID, Gen: now,
 		}
-		t.enqueue(flit.Packet(h, msgLen), b.Q)
+		t.enqueue(h, msgLen, b.Q)
 	}
 	return msgID
 }
@@ -199,7 +218,7 @@ func (t *Transceiver) SendMulticast(targets []int, msgLen int, now int64) uint64
 			Traffic: flit.Multicast, Src: t.Node, Dst: b.Last, Bits: b.Bits,
 			PktID: t.fab.NextPktID(), MsgID: msgID, Gen: now,
 		}
-		t.enqueue(flit.Packet(h, msgLen), b.Q)
+		t.enqueue(h, msgLen, b.Q)
 	}
 	return msgID
 }
@@ -214,7 +233,7 @@ func (t *Transceiver) sendChains(msgID uint64, msgLen int, now int64) {
 			Remain: len(c.Nodes) - 1, ChainCCW: c.Dir == topology.CCW,
 			PktID: t.fab.NextPktID(), MsgID: msgID, Gen: now,
 		}
-		t.enqueue(flit.Packet(h, msgLen), topology.QuadrantOf(t.n, t.Node, first))
+		t.enqueue(h, msgLen, topology.QuadrantOf(t.n, t.Node, first))
 	}
 }
 
@@ -235,7 +254,7 @@ func (t *Transceiver) onTail(f flit.Flit, now int64) {
 			Remain: f.Remain - 1, ChainCCW: f.ChainCCW,
 			PktID: t.fab.NextPktID(), MsgID: f.MsgID, Gen: f.Gen,
 		}
-		t.enqueueFront(flit.Packet(h, f.PktLen), topology.QuadrantOf(t.n, t.Node, next))
+		t.enqueueFront(h, f.PktLen, topology.QuadrantOf(t.n, t.Node, next))
 	}
 }
 

@@ -1,0 +1,274 @@
+// Package ring implements a plain bidirectional ring NoC on the shared
+// switch microarchitecture: no cross links, shortest-direction deterministic
+// routing on the two rim rings, and the dateline virtual-channel discipline
+// of internal/topology. It is the degenerate member of the Spidergon family
+// (a Spidergon with the cross channel removed) and exists both as a lower
+// bound in architecture sweeps and as the registry's proof of extensibility:
+// it registers itself with internal/model and inherits the experiment
+// harness, the service API and the shared invariant test suite without any
+// of those layers naming it.
+//
+// Deadlock freedom follows from the channel dependency graph: each rim ring
+// is a cycle broken by the dateline VC split, exactly as for the rim
+// channels of the Quarc and Spidergon; RouteChannels exposes the per-route
+// channel sequences so the CDG can be checked with topology.CDG (see the
+// package test).
+//
+// Port layout:
+//
+//	inputs  0 RimCWIn   flits flowing clockwise, from node i-1
+//	        1 RimCCWIn  flits flowing counter-clockwise, from node i+1
+//	        2 Inj       the single local injection channel
+//	outputs 0 RimCWOut  to node i+1
+//	        1 RimCCWOut to node i-1
+//	        2 Eject     the single local ejection channel (shared, arbitrated)
+package ring
+
+import (
+	"fmt"
+
+	"quarc/internal/flit"
+	"quarc/internal/model"
+	"quarc/internal/network"
+	"quarc/internal/router"
+	"quarc/internal/topology"
+)
+
+// Input port indices.
+const (
+	RimCWIn = iota
+	RimCCWIn
+	Inj
+	numInputs
+)
+
+// Output port indices.
+const (
+	RimCWOut = iota
+	RimCCWOut
+	Eject
+	numOutputs
+)
+
+// NumNetworkInputs is the index of the first injection port.
+const NumNetworkInputs = 2
+
+const link2VCs = 2
+
+// dirTo returns the shortest rim direction from src to dst; the clockwise
+// direction wins exact antipodal ties, keeping the route a pure function of
+// (n, src, dst).
+func dirTo(n, src, dst int) topology.Direction {
+	if topology.Offset(n, src, dst) <= n/2 {
+		return topology.CW
+	}
+	return topology.CCW
+}
+
+// Route is shortest-direction deterministic routing: the injection decision
+// fixes the rim ring, and the packet stays on it until it ejects.
+func Route(n int) router.RouteFunc {
+	return func(node, in int, f flit.Flit) router.Decision {
+		if f.Dst == node {
+			return router.Decision{Out: Eject, Eject: true}
+		}
+		switch in {
+		case RimCWIn:
+			return router.Decision{Out: RimCWOut}
+		case RimCCWIn:
+			return router.Decision{Out: RimCCWOut}
+		case Inj:
+			if dirTo(n, node, f.Dst) == topology.CW {
+				return router.Decision{Out: RimCWOut}
+			}
+			return router.Decision{Out: RimCCWOut}
+		}
+		panic(fmt.Sprintf("ring: no such input port %d", in))
+	}
+}
+
+// VCNext applies the dateline discipline on both rim rings.
+func VCNext(n int) router.VCFunc {
+	return func(node, out, in, cur int, f flit.Flit) int {
+		switch out {
+		case RimCWOut:
+			return topology.RimVC(n, topology.CW, node, cur)
+		case RimCCWOut:
+			return topology.RimVC(n, topology.CCW, node, cur)
+		default:
+			return 0
+		}
+	}
+}
+
+// Reach is the minimal crossbar: packets never reverse direction on the rim.
+func Reach() [][]int {
+	return [][]int{
+		RimCWOut:  {RimCWIn, Inj},
+		RimCCWOut: {RimCCWIn, Inj},
+		Eject:     {RimCWIn, RimCCWIn},
+	}
+}
+
+// RouteChannels returns the channel sequence of the route from src to dst
+// (excluding injection/ejection, which cannot participate in cycles); it
+// feeds the CDG acyclicity check.
+func RouteChannels(n, src, dst int) []topology.Channel {
+	if src == dst {
+		return nil
+	}
+	dir := dirTo(n, src, dst)
+	kind := topology.ChRimCW
+	if dir == topology.CCW {
+		kind = topology.ChRimCCW
+	}
+	var chs []topology.Channel
+	cur, vc := src, 0
+	for cur != dst {
+		vc = topology.RimVC(n, dir, cur, vc)
+		chs = append(chs, topology.Channel{Kind: kind, From: cur, VC: vc})
+		if dir == topology.CW {
+			cur = topology.NextCW(n, cur)
+		} else {
+			cur = topology.NextCCW(n, cur)
+		}
+	}
+	return chs
+}
+
+// CDG builds the channel dependency graph over all unicast routes of an
+// n-node ring.
+func CDG(n int) *topology.CDG {
+	g := topology.NewCDG()
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s != d {
+				g.AddPath(RouteChannels(n, s, d))
+			}
+		}
+	}
+	return g
+}
+
+// Config describes a ring network build.
+type Config struct {
+	N     int
+	Depth int
+}
+
+// Build assembles an n-node bidirectional ring and its adapters.
+func Build(cfg Config) (*network.Fabric, []*Adapter, error) {
+	if err := topology.ValidateRingSize(cfg.N); err != nil {
+		return nil, nil, err
+	}
+	if cfg.Depth < 1 {
+		return nil, nil, fmt.Errorf("ring: buffer depth %d", cfg.Depth)
+	}
+	n := cfg.N
+	routers := make([]*router.Router, n)
+	wires := make([][]network.OutputWire, n)
+	injStart := make([]int, n)
+	inLanes := []int{link2VCs, link2VCs, 1}
+	for node := 0; node < n; node++ {
+		routers[node] = router.New(router.Config{
+			Node:      node,
+			VCs:       link2VCs,
+			Depth:     cfg.Depth,
+			InLanes:   inLanes,
+			NOut:      numOutputs,
+			EjectPort: Eject,
+			Route:     Route(n),
+			VCNext:    VCNext(n),
+			Reach:     Reach(),
+		})
+		wires[node] = []network.OutputWire{
+			RimCWOut:  {Dst: network.PortRef{Node: topology.NextCW(n, node), Port: RimCWIn}},
+			RimCCWOut: {Dst: network.PortRef{Node: topology.NextCCW(n, node), Port: RimCCWIn}},
+			Eject:     {Sink: true},
+		}
+		injStart[node] = NumNetworkInputs
+	}
+	fab := network.New(routers, wires, injStart)
+	as := make([]*Adapter, n)
+	for node := 0; node < n; node++ {
+		as[node] = newAdapter(fab, routers[node], node, n)
+		fab.SetAdapter(node, as[node])
+	}
+	return fab, as, nil
+}
+
+// Adapter is the one-port ring network interface. The ring has no hardware
+// collective support, so a broadcast is n-1 independent unicasts.
+type Adapter struct {
+	network.BaseAdapter
+	n   int
+	fab *network.Fabric
+}
+
+func newAdapter(fab *network.Fabric, r *router.Router, node, n int) *Adapter {
+	a := &Adapter{n: n, fab: fab}
+	a.Node = node
+	a.R = r
+	a.Queues = make([]network.PacketQueue, 1)
+	a.InjPorts = []int{Inj}
+	a.OnTail = func(f flit.Flit, now int64) {
+		a.fab.Tracker.Delivered(f.MsgID, a.Node, now)
+	}
+	return a
+}
+
+// SendUnicast queues a unicast message of msgLen flits for dst.
+func (a *Adapter) SendUnicast(dst, msgLen int, now int64) uint64 {
+	if dst == a.Node {
+		panic("ring: unicast to self")
+	}
+	msgID := a.fab.NextMsgID()
+	h := flit.Flit{
+		Traffic: flit.Unicast, Src: a.Node, Dst: dst,
+		PktID: a.fab.NextPktID(), MsgID: msgID, Gen: now,
+	}
+	a.fab.Tracker.Register(msgID, network.ClassUnicast, a.Node, now, 1)
+	q := &a.Queues[0]
+	q.PushBack(q.NewPacket(h, msgLen))
+	return msgID
+}
+
+// SendBroadcast emits n-1 unicasts (software broadcast).
+func (a *Adapter) SendBroadcast(msgLen int, now int64) uint64 {
+	msgID := a.fab.NextMsgID()
+	a.fab.Tracker.Register(msgID, network.ClassBroadcast, a.Node, now, a.n-1)
+	q := &a.Queues[0]
+	for d := 0; d < a.n; d++ {
+		if d == a.Node {
+			continue
+		}
+		h := flit.Flit{
+			Traffic: flit.Unicast, Src: a.Node, Dst: d,
+			PktID: a.fab.NextPktID(), MsgID: msgID, Gen: now,
+		}
+		q.PushBack(q.NewPacket(h, msgLen))
+	}
+	return msgID
+}
+
+var _ network.Adapter = (*Adapter)(nil)
+
+func init() {
+	model.Register(model.Model{
+		Name:        "ring",
+		Description: "bidirectional ring: shortest-direction routing, dateline VCs, no cross links (lower bound)",
+		CheckN:      topology.ValidateRingSize,
+		ExampleN:    16,
+		Build: func(bc model.BuildConfig) (*network.Fabric, []model.Node, error) {
+			fab, as, err := Build(Config{N: bc.N, Depth: bc.Depth})
+			if err != nil {
+				return nil, nil, err
+			}
+			nodes := make([]model.Node, len(as))
+			for i, a := range as {
+				nodes[i] = a
+			}
+			return fab, nodes, nil
+		},
+	})
+}

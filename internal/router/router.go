@@ -75,6 +75,12 @@ type lane struct {
 	active bool // between header grant and tail departure
 	dec    Decision
 	outVC  int
+	// Cached routing verdict for the packet whose header waits at this
+	// lane's head: Route is pure, so a header blocked for many cycles needs
+	// it computed (and validated) once, not once per cycle.
+	pendDec Decision
+	pendPkt uint64
+	pendOK  bool
 }
 
 type inputPort struct {
@@ -104,11 +110,12 @@ type Move struct {
 
 // Router is one switch instance.
 type Router struct {
-	cfg   Config
-	in    []inputPort
-	out   []outputPort
-	bids  []bid // reused each cycle
-	stats Stats
+	cfg     Config
+	in      []inputPort
+	out     []outputPort
+	bids    []bid  // reused each cycle
+	granted []bool // reused each cycle: per input, action taken
+	stats   Stats
 }
 
 type bid struct {
@@ -154,6 +161,7 @@ func New(cfg Config) *Router {
 		}
 	}
 	r.bids = make([]bid, len(cfg.InLanes))
+	r.granted = make([]bool, len(cfg.InLanes))
 	return r
 }
 
@@ -186,13 +194,18 @@ func (r *Router) Sent(out int) uint64 { return r.out[out].sent }
 // decisions observe only the snapshot, giving registered (one-cycle lagged)
 // credit semantics.
 func (r *Router) Snapshot() {
+	occ := 0
 	for i := range r.in {
 		p := &r.in[i]
 		for l := range p.lanes {
-			p.snap[l] = p.lanes[l].q.Free()
+			q := p.lanes[l].q
+			n := q.Len()
+			p.snap[l] = q.Cap() - n
+			occ += n
 		}
 	}
-	r.recordOccupancy()
+	r.stats.OccupancySum += uint64(occ)
+	r.stats.Cycles++
 }
 
 // SnapFree returns the snapshotted free space of an input lane, used by the
@@ -230,19 +243,23 @@ func (r *Router) bidFor(i int) bid {
 				panic(fmt.Sprintf("router %d in %d lane %d: %v flit with no active packet",
 					r.cfg.Node, i, l, head.Kind))
 			}
-			dec = r.cfg.Route(r.cfg.Node, i, head)
-			if dec.Out == NoOutput && !dec.Eject {
-				panic(fmt.Sprintf("router %d in %d: decision with no action for %+v",
-					r.cfg.Node, i, head))
+			if !ln.pendOK || ln.pendPkt != head.PktID {
+				dec = r.cfg.Route(r.cfg.Node, i, head)
+				if dec.Out == NoOutput && !dec.Eject {
+					panic(fmt.Sprintf("router %d in %d: decision with no action for %+v",
+						r.cfg.Node, i, head))
+				}
+				if dec.Out == NoOutput && r.cfg.EjectPort != NoOutput {
+					panic(fmt.Sprintf("router %d in %d: pure-local decision on a shared-eject switch",
+						r.cfg.Node, i))
+				}
+				if dec.Out != NoOutput && !r.reachable(dec.Out, i) {
+					panic(fmt.Sprintf("router %d: route sends input %d to unreachable output %d",
+						r.cfg.Node, i, dec.Out))
+				}
+				ln.pendDec, ln.pendPkt, ln.pendOK = dec, head.PktID, true
 			}
-			if dec.Out == NoOutput && r.cfg.EjectPort != NoOutput {
-				panic(fmt.Sprintf("router %d in %d: pure-local decision on a shared-eject switch",
-					r.cfg.Node, i))
-			}
-			if dec.Out != NoOutput && !r.reachable(dec.Out, i) {
-				panic(fmt.Sprintf("router %d: route sends input %d to unreachable output %d",
-					r.cfg.Node, i, dec.Out))
-			}
+			dec = ln.pendDec
 		}
 		return bid{in: i, lane: l, dec: dec, head: head, valid: true}
 	}
@@ -264,11 +281,21 @@ type Downstream interface {
 // must call Commit exactly once with the same slice.
 func (r *Router) Arbitrate(downstream []Downstream, moves []Move) []Move {
 	// VC arbitration: one candidate lane per input port.
+	nbids := 0
 	for i := range r.in {
 		r.bids[i] = r.bidFor(i)
+		if r.bids[i].valid {
+			nbids++
+		}
+	}
+	if nbids == 0 {
+		return moves // idle switch: nothing to arbitrate this cycle
 	}
 
-	granted := make([]bool, len(r.in)) // per input: action taken this cycle
+	granted := r.granted // per input: action taken this cycle
+	for i := range granted {
+		granted[i] = false
+	}
 
 	// Dedicated ejection (Quarc all-port absorb): decisions with no
 	// forwarding component need no OPC and always succeed.
@@ -398,7 +425,12 @@ func (r *Router) Commit(moves []Move) {
 		// locally.
 		if f.Kind == flit.Header {
 			ln.active = true
-			ln.dec = r.cfg.Route(r.cfg.Node, m.In, f)
+			if ln.pendOK && ln.pendPkt == f.PktID {
+				ln.dec = ln.pendDec
+			} else {
+				ln.dec = r.cfg.Route(r.cfg.Node, m.In, f)
+			}
+			ln.pendOK = false
 			ln.outVC = m.OutVC
 		}
 		if f.Kind == flit.Tail {

@@ -53,19 +53,7 @@ func (s Stats) TotalStalls() uint64 {
 	return t
 }
 
-// Stats returns a copy of the router's counters.
+// Stats returns a copy of the router's counters. The occupancy integral
+// (OccupancySum/Cycles) is accumulated inside Snapshot, which runs exactly
+// once per cycle.
 func (r *Router) Stats() Stats { return r.stats }
-
-// recordOccupancy accumulates the buffer occupancy integral; called from
-// Snapshot so it runs exactly once per cycle.
-func (r *Router) recordOccupancy() {
-	occ := 0
-	for i := range r.in {
-		p := &r.in[i]
-		for l := range p.lanes {
-			occ += p.lanes[l].q.Len()
-		}
-	}
-	r.stats.OccupancySum += uint64(occ)
-	r.stats.Cycles++
-}

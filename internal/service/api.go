@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"quarc/internal/experiments"
+	"quarc/internal/model"
 	"quarc/internal/traffic"
 )
 
@@ -37,26 +38,52 @@ const (
 	MaxJobCycles = 4_000_000_000
 )
 
-// topoNames maps wire names to topologies; the reverse direction uses
-// Topology.String(), which emits exactly these names.
-var topoNames = map[string]experiments.Topology{
-	"quarc":            experiments.TopoQuarc,
-	"spidergon":        experiments.TopoSpidergon,
-	"quarc-chainbcast": experiments.TopoQuarcChainBcast,
-	"quarc-1queue":     experiments.TopoQuarcSingleQueue,
-	"mesh":             experiments.TopoMesh,
-	"torus":            experiments.TopoTorus,
+// ParseModel validates a wire-format model name against the registry ("",
+// the default, means quarc) and returns its canonical lower-case form. The
+// model vocabulary is owned by internal/model: anything registered there is
+// a valid wire name, with no list to maintain here.
+func ParseModel(name string) (string, error) {
+	if name == "" {
+		return "quarc", nil
+	}
+	name = strings.ToLower(name)
+	if _, ok := model.Lookup(name); !ok {
+		return "", fmt.Errorf("unknown model %q (available: %s)",
+			name, strings.Join(model.Names(), ", "))
+	}
+	return name, nil
 }
 
-// ParseTopology resolves a wire-format topology name ("" means quarc).
+// ParseTopology is the legacy-enum shim over ParseModel: it resolves the
+// six original wire names to their Topology members. Callers that should
+// accept any registered model use ParseModel instead.
 func ParseTopology(name string) (experiments.Topology, error) {
-	if name == "" {
-		return experiments.TopoQuarc, nil
+	canonical, err := ParseModel(name)
+	if err != nil {
+		return 0, err
 	}
-	if t, ok := topoNames[strings.ToLower(name)]; ok {
-		return t, nil
+	t, ok := experiments.TopologyByName(canonical)
+	if !ok {
+		return 0, fmt.Errorf("model %q has no legacy topology enum; use the model name directly", canonical)
 	}
-	return 0, fmt.Errorf("unknown topology %q", name)
+	return t, nil
+}
+
+// ModelJSON is one entry of GET /v1/models (and quarcsim -list-models).
+type ModelJSON struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	ExampleN    int    `json:"example_n"`
+}
+
+// Models lists the registered models in wire form, sorted by name.
+func Models() []ModelJSON {
+	all := model.All()
+	out := make([]ModelJSON, 0, len(all))
+	for _, m := range all {
+		out = append(out, ModelJSON{Name: m.Name, Description: m.Description, ExampleN: m.ExampleN})
+	}
+	return out
 }
 
 var patternNames = map[string]traffic.Pattern{
@@ -92,6 +119,8 @@ func PatternName(p traffic.Pattern) string {
 // RunRequest is the body of POST /v1/runs: one simulation configuration,
 // optionally replicated. Zero fields take the simulator's defaults.
 type RunRequest struct {
+	// Topo is the model's wire name: any name registered with
+	// internal/model is accepted (GET /v1/models enumerates them).
 	Topo        string  `json:"topo,omitempty"`
 	N           int     `json:"n"`
 	MsgLen      int     `json:"msglen,omitempty"`
@@ -99,19 +128,24 @@ type RunRequest struct {
 	Rate        float64 `json:"rate"`
 	Pattern     string  `json:"pattern,omitempty"`
 	HotspotBias float64 `json:"hotspot_bias,omitempty"`
-	Depth       int     `json:"depth,omitempty"`
-	Warmup      int64   `json:"warmup,omitempty"`
-	Measure     int64   `json:"measure,omitempty"`
-	Drain       int64   `json:"drain,omitempty"`
-	Seed        uint64  `json:"seed,omitempty"`
-	Replicates  int     `json:"replicates,omitempty"`
-	Workers     int     `json:"workers,omitempty"`
+	// BurstMeanOn/BurstMeanOff switch the workload to the two-state bursty
+	// source: mean burst and silence lengths in cycles (both together).
+	// Rate stays the long-run mean offered load.
+	BurstMeanOn  float64 `json:"burst_mean_on,omitempty"`
+	BurstMeanOff float64 `json:"burst_mean_off,omitempty"`
+	Depth        int     `json:"depth,omitempty"`
+	Warmup       int64   `json:"warmup,omitempty"`
+	Measure      int64   `json:"measure,omitempty"`
+	Drain        int64   `json:"drain,omitempty"`
+	Seed         uint64  `json:"seed,omitempty"`
+	Replicates   int     `json:"replicates,omitempty"`
+	Workers      int     `json:"workers,omitempty"`
 }
 
 // Config validates the request and converts it to a normalised simulator
 // configuration.
 func (r RunRequest) Config() (experiments.Config, error) {
-	topo, err := ParseTopology(r.Topo)
+	name, err := ParseModel(r.Topo)
 	if err != nil {
 		return experiments.Config{}, err
 	}
@@ -122,11 +156,21 @@ func (r RunRequest) Config() (experiments.Config, error) {
 	if r.N <= 0 {
 		return experiments.Config{}, fmt.Errorf("n must be positive")
 	}
+	if r.HotspotBias < 0 || r.HotspotBias > 1 {
+		return experiments.Config{}, fmt.Errorf("hotspot_bias %v outside [0,1]", r.HotspotBias)
+	}
 	cfg := experiments.Config{
-		Topo: topo, N: r.N, MsgLen: r.MsgLen, Beta: r.Beta, Rate: r.Rate,
-		Pattern: pat, HotspotBias: r.HotspotBias, Depth: r.Depth,
+		Model: name, N: r.N, MsgLen: r.MsgLen, Beta: r.Beta, Rate: r.Rate,
+		Pattern: pat, HotspotBias: r.HotspotBias,
+		BurstMeanOn: r.BurstMeanOn, BurstMeanOff: r.BurstMeanOff, Depth: r.Depth,
 		Warmup: r.Warmup, Measure: r.Measure, Drain: r.Drain, Seed: r.Seed,
 	}.WithDefaults()
+	if err := model.CheckSize(name, cfg.N); err != nil {
+		return experiments.Config{}, err
+	}
+	if err := cfg.ValidateWorkload(); err != nil {
+		return experiments.Config{}, err
+	}
 	switch {
 	case cfg.N > MaxNodes:
 		return experiments.Config{}, fmt.Errorf("n %d exceeds the limit %d", cfg.N, MaxNodes)
@@ -170,13 +214,15 @@ type SweepOpts struct {
 // PanelRequest is the body of POST /v1/panels: one figure panel (a rate sweep
 // of both architectures), as in the paper's Figs 9-11.
 type PanelRequest struct {
-	Figure string    `json:"figure,omitempty"`
-	Name   string    `json:"name,omitempty"`
-	N      int       `json:"n"`
-	MsgLen int       `json:"msglen,omitempty"`
-	Beta   float64   `json:"beta,omitempty"`
-	Rates  []float64 `json:"rates,omitempty"`
-	Opts   SweepOpts `json:"opts,omitempty"`
+	Figure      string    `json:"figure,omitempty"`
+	Name        string    `json:"name,omitempty"`
+	N           int       `json:"n"`
+	MsgLen      int       `json:"msglen,omitempty"`
+	Beta        float64   `json:"beta,omitempty"`
+	Pattern     string    `json:"pattern,omitempty"`
+	HotspotBias float64   `json:"hotspot_bias,omitempty"`
+	Rates       []float64 `json:"rates,omitempty"`
+	Opts        SweepOpts `json:"opts,omitempty"`
 }
 
 // SpecOpts validates the request and converts it to the sweep engine's
@@ -184,6 +230,13 @@ type PanelRequest struct {
 func (p PanelRequest) SpecOpts() (experiments.PanelSpec, experiments.RunOpts, error) {
 	if p.N <= 0 {
 		return experiments.PanelSpec{}, experiments.RunOpts{}, fmt.Errorf("n must be positive")
+	}
+	pat, err := ParsePattern(p.Pattern)
+	if err != nil {
+		return experiments.PanelSpec{}, experiments.RunOpts{}, err
+	}
+	if p.HotspotBias < 0 || p.HotspotBias > 1 {
+		return experiments.PanelSpec{}, experiments.RunOpts{}, fmt.Errorf("hotspot_bias %v outside [0,1]", p.HotspotBias)
 	}
 	if p.N > MaxNodes {
 		return experiments.PanelSpec{}, experiments.RunOpts{}, fmt.Errorf("n %d exceeds the limit %d", p.N, MaxNodes)
@@ -197,6 +250,7 @@ func (p PanelRequest) SpecOpts() (experiments.PanelSpec, experiments.RunOpts, er
 	spec := experiments.PanelSpec{
 		Figure: p.Figure, Name: p.Name,
 		N: p.N, MsgLen: p.MsgLen, Beta: p.Beta,
+		Pattern: pat, HotspotBias: p.HotspotBias,
 		Rates: append([]float64(nil), p.Rates...),
 	}
 	if spec.MsgLen == 0 {
@@ -262,6 +316,8 @@ type ResultJSON struct {
 	Beta          float64 `json:"beta"`
 	Rate          float64 `json:"rate"`
 	Pattern       string  `json:"pattern"`
+	BurstMeanOn   float64 `json:"burst_mean_on,omitempty"`
+	BurstMeanOff  float64 `json:"burst_mean_off,omitempty"`
 	Seed          uint64  `json:"seed"`
 	UnicastMean   float64 `json:"unicast_mean"`
 	UnicastCI     float64 `json:"unicast_ci95"`
@@ -286,12 +342,14 @@ type ResultJSON struct {
 // EncodeResult converts a measured result to its wire form.
 func EncodeResult(r experiments.Result) ResultJSON {
 	return ResultJSON{
-		Topo:          r.Cfg.Topo.String(),
+		Topo:          r.Cfg.ModelName(),
 		N:             r.Cfg.N,
 		MsgLen:        r.Cfg.MsgLen,
 		Beta:          r.Cfg.Beta,
 		Rate:          r.Cfg.Rate,
 		Pattern:       PatternName(r.Cfg.Pattern),
+		BurstMeanOn:   r.Cfg.BurstMeanOn,
+		BurstMeanOff:  r.Cfg.BurstMeanOff,
 		Seed:          r.Cfg.Seed,
 		UnicastMean:   r.UnicastMean,
 		UnicastCI:     r.UnicastCI,
@@ -337,15 +395,19 @@ func EncodeRun(agg experiments.Result, reps []experiments.Result) RunResult {
 // PanelResultJSON is the payload of a completed panel job (and of
 // quarcbench -json): the replicate-aggregated sweep of both architectures.
 type PanelResultJSON struct {
-	Figure     string       `json:"figure,omitempty"`
-	Name       string       `json:"name,omitempty"`
-	N          int          `json:"n"`
-	MsgLen     int          `json:"msglen"`
-	Beta       float64      `json:"beta"`
-	Rates      []float64    `json:"rates"`
-	Replicates int          `json:"replicates"`
-	Quarc      []ResultJSON `json:"quarc"`
-	Spidergon  []ResultJSON `json:"spidergon"`
+	Figure string  `json:"figure,omitempty"`
+	Name   string  `json:"name,omitempty"`
+	N      int     `json:"n"`
+	MsgLen int     `json:"msglen"`
+	Beta   float64 `json:"beta"`
+	// Pattern is omitted for the paper's uniform workload, keeping
+	// pre-existing panel payloads byte-identical.
+	Pattern     string       `json:"pattern,omitempty"`
+	HotspotBias float64      `json:"hotspot_bias,omitempty"`
+	Rates       []float64    `json:"rates"`
+	Replicates  int          `json:"replicates"`
+	Quarc       []ResultJSON `json:"quarc"`
+	Spidergon   []ResultJSON `json:"spidergon"`
 }
 
 // EncodePanel converts a measured panel to its wire form.
@@ -355,6 +417,10 @@ func EncodePanel(pr experiments.PanelResult) PanelResultJSON {
 		N: pr.Spec.N, MsgLen: pr.Spec.MsgLen, Beta: pr.Spec.Beta,
 		Rates:      append([]float64(nil), pr.RatesSwept...),
 		Replicates: pr.Replicates,
+	}
+	if pr.Spec.Pattern != traffic.Uniform || pr.Spec.HotspotBias != 0 {
+		out.Pattern = PatternName(pr.Spec.Pattern)
+		out.HotspotBias = pr.Spec.HotspotBias
 	}
 	for _, r := range pr.Results[experiments.TopoQuarc] {
 		out.Quarc = append(out.Quarc, EncodeResult(r))

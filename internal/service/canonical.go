@@ -40,10 +40,15 @@ func PanelKey(spec experiments.PanelSpec, opts experiments.RunOpts) string {
 		opts.Points = 0
 	}
 	return hashKey(struct {
-		Kind                   string
-		Figure, Name           string
-		N, MsgLen              int
-		Beta                   float64
+		Kind         string
+		Figure, Name string
+		N, MsgLen    int
+		Beta         float64
+		// The traffic-shaping fields carry omitempty so the paper's uniform
+		// panels keep the exact cache keys they had before the fields
+		// existed.
+		Pattern                int     `json:",omitempty"`
+		HotspotBias            float64 `json:",omitempty"`
 		Rates                  []float64
 		Warmup, Measure, Drain int64
 		Depth                  int
@@ -52,6 +57,7 @@ func PanelKey(spec experiments.PanelSpec, opts experiments.RunOpts) string {
 	}{
 		Kind: "panel", Figure: spec.Figure, Name: spec.Name,
 		N: spec.N, MsgLen: spec.MsgLen, Beta: spec.Beta,
+		Pattern: int(spec.Pattern), HotspotBias: spec.HotspotBias,
 		Rates:  spec.Rates,
 		Warmup: opts.Warmup, Measure: opts.Measure, Drain: opts.Drain,
 		Depth: opts.Depth, Seed: opts.Seed,

@@ -1,0 +1,71 @@
+package service
+
+import (
+	"testing"
+
+	"quarc/internal/experiments"
+	"quarc/internal/traffic"
+)
+
+// TestCanonicalKeysUnchangedAcrossRegistryRefactor pins the cache keys of
+// representative pre-registry requests to the exact SHA-256 values the
+// pre-refactor code produced (recorded before the model registry, the
+// Config.Model field and the traffic-shaping knobs were introduced). A
+// change here means every deployed cache entry would be orphaned — treat it
+// as a wire-format break, not a test to update casually.
+func TestCanonicalKeysUnchangedAcrossRegistryRefactor(t *testing.T) {
+	runCases := []struct {
+		cfg  experiments.Config
+		reps int
+		want string
+	}{
+		{experiments.Config{Topo: experiments.TopoQuarc, N: 16, Rate: 0.01}, 3,
+			"8f0c3c8f63cffa079b76e69a1b1c5cf80e79e545e78659a98260b9e1473803bd"},
+		{experiments.Config{Topo: experiments.TopoSpidergon, N: 64, MsgLen: 32, Beta: 0.1, Rate: 0.004, Seed: 7}, 3,
+			"ba2bc4d5c21407846e348bcde0a9c1c6c832938c7a259c7c5eede59a150c687a"},
+		{experiments.Config{Topo: experiments.TopoTorus, N: 16, Rate: 0.02, Pattern: traffic.Hotspot, HotspotBias: 0.3, Depth: 8}, 3,
+			"86fb86974e50d78359f25c4e81f5b7b90b5edb152fc1754d3e1f1de85cefb4c7"},
+		{experiments.Config{Topo: experiments.TopoQuarcSingleQueue, N: 8, Rate: 0.005, Warmup: 100, Measure: 200, Drain: 300}, 3,
+			"9cffdf53a37e7120205198ea7c5c2b2fa4c6418dbbc28b1ce4c1c39b468b36a5"},
+	}
+	for i, c := range runCases {
+		if got := RunKey(c.cfg, c.reps); got != c.want {
+			t.Errorf("run case %d (%v): key drifted\n got %s\nwant %s", i, c.cfg.Topo, got, c.want)
+		}
+	}
+
+	// A request selecting a legacy model by wire name must share the key of
+	// the enum-selected request: names canonicalise onto the enum.
+	byName := experiments.Config{Model: "quarc", N: 16, Rate: 0.01}
+	if got, want := RunKey(byName, 3), runCases[0].want; got != want {
+		t.Errorf("name-selected quarc key %s != enum-selected key %s", got, want)
+	}
+
+	spec := experiments.PanelSpec{Figure: "fig9", Name: "N=16 beta=5% M=16",
+		N: 16, MsgLen: 16, Beta: 0.05, Rates: []float64{0.002, 0.004}}
+	opts := experiments.RunOpts{Warmup: 500, Measure: 2500, Drain: 10000,
+		Depth: 4, Seed: 20090523, Points: 5, Replicates: 2}
+	if got, want := PanelKey(spec, opts), "05265f606992990fa4e2b28d7eb8618128f1d8df7ac1f2a6664f81bf0ac060b1"; got != want {
+		t.Errorf("panel key drifted\n got %s\nwant %s", got, want)
+	}
+	if got, want := PanelKey(experiments.PanelSpec{N: 32}, experiments.DefaultOpts()),
+		"cbda8e698199c1f36bcc62958e2b5cf6152fcaaea69c7eff403eb9ad858a3c61"; got != want {
+		t.Errorf("default panel key drifted\n got %s\nwant %s", got, want)
+	}
+
+	// New knobs must change keys (no silent cache aliasing).
+	burst := runCases[0].cfg
+	burst.BurstMeanOn, burst.BurstMeanOff = 40, 120
+	if RunKey(burst, 3) == runCases[0].want {
+		t.Error("bursty run shares the smooth run's cache key")
+	}
+	ring := experiments.Config{Model: "ring", N: 16, Rate: 0.01}
+	if RunKey(ring, 3) == runCases[0].want {
+		t.Error("ring run shares the quarc run's cache key")
+	}
+	hot := spec
+	hot.Pattern, hot.HotspotBias = traffic.Hotspot, 0.3
+	if PanelKey(hot, opts) == PanelKey(spec, opts) {
+		t.Error("hotspot panel shares the uniform panel's cache key")
+	}
+}

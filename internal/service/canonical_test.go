@@ -132,7 +132,10 @@ func TestStoreEvictsTerminalJobs(t *testing.T) {
 }
 
 func TestParseRoundTrips(t *testing.T) {
-	for name := range topoNames {
+	// The six legacy names must keep resolving through the enum shim and
+	// round-tripping via Topology.String.
+	for _, name := range []string{"quarc", "spidergon", "quarc-chainbcast",
+		"quarc-1queue", "mesh", "torus"} {
 		topo, err := ParseTopology(name)
 		if err != nil {
 			t.Fatal(err)
@@ -140,6 +143,24 @@ func TestParseRoundTrips(t *testing.T) {
 		if topo.String() != name {
 			t.Fatalf("topology %q round-trips to %q", name, topo.String())
 		}
+	}
+	// Every registered model resolves through ParseModel and is listed.
+	listed := map[string]bool{}
+	for _, m := range Models() {
+		listed[m.Name] = true
+		got, err := ParseModel(m.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != m.Name {
+			t.Fatalf("model %q canonicalises to %q", m.Name, got)
+		}
+	}
+	if !listed["ring"] {
+		t.Fatal("registry-only model missing from Models()")
+	}
+	if _, err := ParseModel("bogus"); err == nil {
+		t.Fatal("bogus model accepted")
 	}
 	for name, p := range patternNames {
 		got, err := ParsePattern(name)

@@ -193,6 +193,18 @@ func (j *Job) finish(result []byte, cached bool) bool {
 	return j.setState(StateDone, "")
 }
 
+// resultPayload returns the canonical result bytes of a successfully
+// finished job. ok is false while the job is live or if it ended any other
+// way.
+func (j *Job) resultPayload() ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone {
+		return nil, false
+	}
+	return j.result, true
+}
+
 // setCancel hands the job its execution context's cancel function. The
 // executor calls it before marking the job running, so a running job always
 // has a live cancel hook; a cancellation that arrived first (when the hook

@@ -17,6 +17,7 @@ type Metrics struct {
 	jobsFailed     atomic.Uint64
 	jobsCancelled  atomic.Uint64
 	jobsRejected   atomic.Uint64
+	jobsCoalesced  atomic.Uint64
 	pointsSim      atomic.Uint64
 	cyclesSim      atomic.Uint64
 	cachedResponse atomic.Uint64
@@ -34,6 +35,7 @@ type MetricsSnapshot struct {
 	JobsFailed      uint64
 	JobsCancelled   uint64
 	JobsRejected    uint64
+	JobsCoalesced   uint64
 	CachedResponses uint64
 	PointsSimulated uint64
 	CyclesSimulated uint64
@@ -77,6 +79,7 @@ func (m MetricsSnapshot) writeProm(w io.Writer) {
 	c("quarcd_jobs_failed_total", "Jobs finished with an error.", m.JobsFailed)
 	c("quarcd_jobs_cancelled_total", "Jobs cancelled before completion.", m.JobsCancelled)
 	c("quarcd_jobs_rejected_total", "Submissions rejected by queue backpressure.", m.JobsRejected)
+	c("quarcd_jobs_coalesced_total", "Submissions attached to an identical in-flight job instead of simulating.", m.JobsCoalesced)
 	c("quarcd_cached_responses_total", "Jobs answered from the result cache without simulating.", m.CachedResponses)
 	c("quarcd_cache_hits_total", "Result-cache lookup hits.", m.CacheHits)
 	c("quarcd_cache_misses_total", "Result-cache lookup misses.", m.CacheMisses)

@@ -10,6 +10,7 @@ import (
 	"log"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"quarc/internal/experiments"
@@ -41,8 +42,20 @@ type Server struct {
 	sched   *Scheduler
 	mux     *http.ServeMux
 
+	// inflight coalesces identical uncached submissions: the first live job
+	// per canonical key is the primary (the one that simulates); later
+	// identical submissions attach as followers and are settled from the
+	// primary's outcome instead of simulating twice.
+	coMu     sync.Mutex
+	inflight map[string]*coalesceEntry
+
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
+}
+
+type coalesceEntry struct {
+	primary   *Job
+	followers []*Job
 }
 
 // New assembles a server and starts its executor pool.
@@ -66,15 +79,17 @@ func New(cfg Config) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg: cfg, log: lg,
-		store:   NewStore(cfg.StoreEntries),
-		cache:   NewCache(cfg.CacheEntries),
-		metrics: NewMetrics(),
-		mux:     http.NewServeMux(),
-		baseCtx: ctx, baseCancel: cancel,
+		store:    NewStore(cfg.StoreEntries),
+		cache:    NewCache(cfg.CacheEntries),
+		metrics:  NewMetrics(),
+		mux:      http.NewServeMux(),
+		inflight: make(map[string]*coalesceEntry),
+		baseCtx:  ctx, baseCancel: cancel,
 	}
 	s.sched = NewScheduler(cfg.Workers, cfg.QueueCap, s.execute)
 	s.mux.HandleFunc("/v1/runs", s.handleRuns)
 	s.mux.HandleFunc("/v1/panels", s.handlePanels)
+	s.mux.HandleFunc("/v1/models", s.handleModels)
 	s.mux.HandleFunc("/v1/jobs", s.handleJobList)
 	s.mux.HandleFunc("/v1/jobs/", s.handleJob)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -95,6 +110,7 @@ func (s *Server) Snapshot() MetricsSnapshot {
 		JobsFailed:      s.metrics.jobsFailed.Load(),
 		JobsCancelled:   s.metrics.jobsCancelled.Load(),
 		JobsRejected:    s.metrics.jobsRejected.Load(),
+		JobsCoalesced:   s.metrics.jobsCoalesced.Load(),
 		CachedResponses: s.metrics.cachedResponse.Load(),
 		PointsSimulated: s.metrics.pointsSim.Load(),
 		CyclesSimulated: s.metrics.cyclesSim.Load(),
@@ -137,6 +153,9 @@ func (s *Server) Close() {
 
 // execute runs one job to a terminal state on an executor goroutine.
 func (s *Server) execute(j *Job) {
+	// Whatever way this job ends, settle any identical submissions that
+	// coalesced onto it.
+	defer s.settleCoalesced(j)
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	defer cancel()
 	j.setCancel(cancel)
@@ -224,7 +243,8 @@ func (s *Server) countOutcome(st State) {
 	}
 }
 
-// submit registers and schedules (or answers from cache) one parsed request.
+// submit registers and schedules (or answers from cache / an identical
+// in-flight job) one parsed request.
 func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind, key string, raw json.RawMessage, work jobWork) {
 	j := s.store.Add(kind, key, raw, work, s.countOutcome)
 	s.metrics.jobsAccepted.Add(1)
@@ -234,18 +254,109 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind, key string
 		writeJSON(w, http.StatusOK, j.Snapshot(true))
 		return
 	}
+	// Coalesce with an identical uncached job that is already queued or
+	// running: this job subscribes to that one's outcome instead of
+	// simulating the same points twice.
+	s.coMu.Lock()
+	if e, ok := s.inflight[key]; ok {
+		e.followers = append(e.followers, j)
+		primaryID := e.primary.ID
+		s.coMu.Unlock()
+		s.metrics.jobsCoalesced.Add(1)
+		s.log.Printf("job %s %s coalesced onto in-flight %s", j.ID, kind, primaryID)
+		s.respondSubmitted(w, r, j)
+		return
+	}
+	s.inflight[key] = &coalesceEntry{primary: j}
+	s.coMu.Unlock()
 	if err := s.sched.Enqueue(j); err != nil {
-		j.setState(StateFailed, err.Error())
-		s.metrics.jobsRejected.Add(1)
+		s.failCoalesceChain(j, err)
 		httpError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
+	s.respondSubmitted(w, r, j)
+}
+
+// respondSubmitted answers a successfully registered submission, honouring
+// ?wait=1.
+func (s *Server) respondSubmitted(w http.ResponseWriter, r *http.Request, j *Job) {
 	if wantWait(r) {
 		j.WaitTerminal(r.Context())
 		writeJSON(w, http.StatusOK, j.Snapshot(true))
 		return
 	}
 	writeJSON(w, http.StatusAccepted, j.Snapshot(false))
+}
+
+// settleCoalesced resolves the followers of a finished primary: a cached
+// result settles them all without simulating; otherwise (the primary failed
+// or was cancelled) the first still-live follower is promoted to primary
+// and scheduled, so one client's cancellation never cancels another
+// client's identical request.
+func (s *Server) settleCoalesced(j *Job) {
+	s.coMu.Lock()
+	e, ok := s.inflight[j.Key]
+	if !ok || e.primary != j {
+		s.coMu.Unlock()
+		return
+	}
+	if len(e.followers) == 0 {
+		delete(s.inflight, j.Key)
+		s.coMu.Unlock()
+		return
+	}
+	// Settle from the primary's own payload, not a cache probe: the bounded
+	// LRU may already have evicted the entry under churn, and a done primary
+	// must never trigger a duplicate simulation.
+	if payload, ok := j.resultPayload(); ok {
+		delete(s.inflight, j.Key)
+		followers := e.followers
+		s.coMu.Unlock()
+		for _, f := range followers {
+			if f.finish(payload, true) {
+				s.metrics.cachedResponse.Add(1)
+			}
+		}
+		return
+	}
+	var live []*Job
+	for _, f := range e.followers {
+		if !f.State().terminal() {
+			live = append(live, f)
+		}
+	}
+	if len(live) == 0 {
+		delete(s.inflight, j.Key)
+		s.coMu.Unlock()
+		return
+	}
+	next := live[0]
+	e.primary = next
+	e.followers = live[1:]
+	s.coMu.Unlock()
+	s.log.Printf("job %s promoted to primary after %s ended without a result", next.ID, j.ID)
+	if err := s.sched.Enqueue(next); err != nil {
+		s.failCoalesceChain(next, err)
+	}
+}
+
+// failCoalesceChain fails a primary that queue backpressure rejected,
+// together with any followers attached to it, clears the in-flight entry,
+// and counts every job in the chain as a backpressure rejection.
+func (s *Server) failCoalesceChain(j *Job, cause error) {
+	s.coMu.Lock()
+	var followers []*Job
+	if e, ok := s.inflight[j.Key]; ok && e.primary == j {
+		followers = e.followers
+		delete(s.inflight, j.Key)
+	}
+	s.coMu.Unlock()
+	j.setState(StateFailed, cause.Error())
+	s.metrics.jobsRejected.Add(1)
+	for _, f := range followers {
+		f.setState(StateFailed, cause.Error())
+		s.metrics.jobsRejected.Add(1)
+	}
 }
 
 // handleRuns accepts POST /v1/runs.
@@ -284,6 +395,17 @@ func (s *Server) handlePanels(w http.ResponseWriter, r *http.Request) {
 	}
 	work := jobWork{panel: &panelWork{spec: spec, opts: opts}}
 	s.submit(w, r, "panel", PanelKey(spec, opts), raw, work)
+}
+
+// handleModels serves GET /v1/models: the registered network models, their
+// descriptions and an example valid size — the service-side face of the
+// model registry.
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, Models())
 }
 
 // handleJobList serves GET /v1/jobs.

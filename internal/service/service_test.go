@@ -155,6 +155,79 @@ func TestQueuedDuplicateServedFromCache(t *testing.T) {
 	}
 }
 
+// slowRun is a single-point run long enough (hundreds of milliseconds) that
+// a test can act while it is still running.
+func slowRun() RunRequest {
+	return RunRequest{N: 8, MsgLen: 4, Rate: 0.002, Warmup: 100,
+		Measure: 400000, Drain: 4000, Seed: 9}
+}
+
+// An identical uncached submission arriving while its twin is still running
+// must coalesce onto it: one simulation, two done jobs, byte-identical
+// results, and zero points simulated by the second job.
+func TestInFlightDuplicateCoalesces(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 2})
+	req := slowRun()
+	_, d1 := postJSON(t, ts.URL+"/v1/runs", req)
+	var a JobJSON
+	if err := json.Unmarshal(d1, &a); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, ts, a.ID, StateRunning, 10*time.Second)
+
+	// Workers=2: a second executor is idle, so only coalescing (not queue
+	// backpressure) can prevent a duplicate simulation.
+	_, d2 := postJSON(t, ts.URL+"/v1/runs", req)
+	var b JobJSON
+	if err := json.Unmarshal(d2, &b); err != nil {
+		t.Fatal(err)
+	}
+	fa := waitState(t, ts, a.ID, StateDone, 30*time.Second)
+	fb := waitState(t, ts, b.ID, StateDone, 30*time.Second)
+	if !fb.Cached {
+		t.Fatal("coalesced duplicate not marked cached")
+	}
+	if !bytes.Equal(fa.Result, fb.Result) {
+		t.Fatal("coalesced results differ")
+	}
+	snap := svc.Snapshot()
+	if snap.JobsCoalesced != 1 {
+		t.Fatalf("jobs coalesced = %d, want 1", snap.JobsCoalesced)
+	}
+	if snap.PointsSimulated != 1 {
+		t.Fatalf("two identical in-flight jobs simulated %d points, want 1", snap.PointsSimulated)
+	}
+}
+
+// Cancelling the primary must not cancel a coalesced follower: the follower
+// is promoted and simulates the request itself.
+func TestCoalescedFollowerSurvivesPrimaryCancel(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	req := slowRun()
+	_, d1 := postJSON(t, ts.URL+"/v1/runs", req)
+	var a JobJSON
+	if err := json.Unmarshal(d1, &a); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, ts, a.ID, StateRunning, 10*time.Second)
+	_, d2 := postJSON(t, ts.URL+"/v1/runs", req)
+	var b JobJSON
+	if err := json.Unmarshal(d2, &b); err != nil {
+		t.Fatal(err)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/v1/jobs/"+a.ID+"/cancel", struct{}{}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: %s", resp.Status)
+	}
+	waitState(t, ts, a.ID, StateCancelled, 10*time.Second)
+	fb := waitState(t, ts, b.ID, StateDone, 60*time.Second)
+	if fb.Cached {
+		t.Fatal("promoted follower claims a cached result; it should have simulated")
+	}
+	if len(fb.Result) == 0 {
+		t.Fatal("promoted follower produced no result")
+	}
+}
+
 // The /metrics endpoint must expose the hit counter the acceptance criterion
 // keys on.
 func TestMetricsEndpoint(t *testing.T) {
@@ -360,9 +433,21 @@ func TestRequestValidation(t *testing.T) {
 		{"/v1/runs", `{"n":16,"rate":0.01,"bogus_field":1}`},
 		// Individually legal knobs whose product exceeds the job-work bound.
 		{"/v1/runs", `{"n":16,"rate":0.01,"measure":400000000,"replicates":100}`},
+		// Model-specific size validation happens at submission time.
+		{"/v1/runs", `{"n":12,"rate":0.01,"topo":"mesh"}`},
+		{"/v1/runs", `{"n":10,"rate":0.01,"topo":"ring"}`},
+		// Bursty knobs: both-or-neither, and an ON-state rate above 1
+		// msg/node/cycle is infeasible.
+		{"/v1/runs", `{"n":16,"rate":0.01,"burst_mean_on":40}`},
+		{"/v1/runs", `{"n":16,"rate":0.01,"burst_mean_on":-40,"burst_mean_off":-120}`},
+		{"/v1/runs", `{"n":16,"rate":0.01,"pattern":"hotspot","hotspot_bias":1.5}`},
+		{"/v1/runs", `{"n":16,"rate":0.01,"burst_mean_on":40,"burst_mean_off":120,"pattern":"hotspot"}`},
+		{"/v1/runs", `{"n":16,"rate":0.9,"burst_mean_on":40,"burst_mean_off":120}`},
 		{"/v1/panels", `{"n":0}`},
 		{"/v1/panels", fmt.Sprintf(`{"n":16,"opts":{"replicates":%d}}`, MaxReplicates+1)},
 		{"/v1/panels", `{"n":16,"opts":{"measure":400000000,"replicates":200,"points":256}}`},
+		{"/v1/panels", `{"n":16,"pattern":"nope"}`},
+		{"/v1/panels", `{"n":16,"hotspot_bias":1.5}`},
 	}
 	for _, c := range cases {
 		resp, err := http.Post(ts.URL+c.path, "application/json", strings.NewReader(c.body))
@@ -403,5 +488,95 @@ func TestJobListing(t *testing.T) {
 	}
 	if len(jobs[0].Result) != 0 {
 		t.Fatal("listing should omit result payloads")
+	}
+}
+
+// GET /v1/models must enumerate the registry, and a model that exists only
+// in the registry (no Topology enum member, no service code naming it) must
+// be servable end to end.
+func TestModelsEndpointAndRegistryOnlyModel(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var models []ModelJSON
+	err = json.NewDecoder(resp.Body).Decode(&models)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]ModelJSON{}
+	for _, m := range models {
+		byName[m.Name] = m
+	}
+	for _, want := range []string{"quarc", "spidergon", "quarc-chainbcast",
+		"quarc-1queue", "mesh", "torus", "ring"} {
+		m, ok := byName[want]
+		if !ok {
+			t.Errorf("/v1/models missing %q", want)
+			continue
+		}
+		if m.Description == "" || m.ExampleN <= 0 {
+			t.Errorf("model %q listed without metadata: %+v", want, m)
+		}
+	}
+
+	job := submitWait(t, ts, "/v1/runs", RunRequest{
+		Topo: "ring", N: 8, MsgLen: 4, Rate: 0.002,
+		Warmup: 100, Measure: 400, Drain: 4000, Seed: 3,
+	})
+	if job.State != StateDone {
+		t.Fatalf("ring job finished %s: %s", job.State, job.Error)
+	}
+	var out RunResult
+	if err := json.Unmarshal(job.Result, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Result.Topo != "ring" {
+		t.Fatalf("result echoes topo %q, want ring", out.Result.Topo)
+	}
+	if out.Result.UnicastCount == 0 {
+		t.Fatal("ring run measured no unicasts")
+	}
+}
+
+// Bursty knobs travel the wire, are echoed in results, and key the cache
+// separately from the smooth run.
+func TestBurstyRunOverWire(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	smooth := submitWait(t, ts, "/v1/runs", RunRequest{
+		N: 16, MsgLen: 4, Rate: 0.004, Warmup: 100, Measure: 1500, Drain: 10000, Seed: 3,
+	})
+	burst := submitWait(t, ts, "/v1/runs", RunRequest{
+		N: 16, MsgLen: 4, Rate: 0.004, Warmup: 100, Measure: 1500, Drain: 10000, Seed: 3,
+		BurstMeanOn: 40, BurstMeanOff: 120,
+	})
+	if smooth.State != StateDone || burst.State != StateDone {
+		t.Fatalf("states: smooth=%s burst=%s (%s %s)", smooth.State, burst.State, smooth.Error, burst.Error)
+	}
+	if burst.Cached {
+		t.Fatal("bursty run aliased the smooth run's cache entry")
+	}
+	var out RunResult
+	if err := json.Unmarshal(burst.Result, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Result.BurstMeanOn != 40 || out.Result.BurstMeanOff != 120 {
+		t.Fatalf("burst knobs not echoed: %+v", out.Result)
+	}
+	if bytes.Equal(smooth.Result, burst.Result) {
+		t.Fatal("bursty result identical to smooth result")
+	}
+}
+
+// Oversized collectives can never complete (the tracker's delivered-node
+// mask is 64 bits), so the registry size check must reject them at
+// submission time for every model.
+func TestOversizedMeshRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, body := postJSON(t, ts.URL+"/v1/runs", RunRequest{Topo: "mesh", N: 100, Beta: 0.1, Rate: 0.005})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("n=100 mesh accepted: %s: %s", resp.Status, body)
 	}
 }

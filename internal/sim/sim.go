@@ -26,12 +26,18 @@ const (
 
 // Event is a scheduled callback.
 type Event struct {
-	at   Time
-	pri  Priority
-	seq  uint64
-	fn   func(now Time)
-	dead bool
-	idx  int
+	at  Time
+	pri Priority
+	seq uint64
+	fn  func(now Time)
+	// tick, when set, makes this a repeating event: after it fires, the
+	// same Event object is re-pushed every cycles later while tick returns
+	// true. Reusing the object keeps per-cycle tickers (the fabric clock)
+	// allocation-free.
+	tick  func(now Time) bool
+	every Time
+	dead  bool
+	idx   int
 }
 
 // Cancel marks the event so that it will not fire. Cancelling an already
@@ -128,6 +134,18 @@ func (k *Kernel) Run(until Time) Time {
 		}
 		k.now = e.at
 		k.fired++
+		if e.tick != nil {
+			// Repeating event: fire, then re-push the same object. The
+			// sequence number is taken after the callback runs, matching a
+			// callback that reschedules itself as its last action.
+			if e.tick(e.at) && !e.dead {
+				e.at += e.every
+				e.seq = k.seq
+				k.seq++
+				heap.Push(&k.heap, e)
+			}
+			continue
+		}
 		e.fn(e.at)
 	}
 	if k.now < until && !k.stopped {
@@ -137,16 +155,17 @@ func (k *Kernel) Run(until Time) Time {
 }
 
 // Ticker repeatedly schedules fn every period cycles at the given priority,
-// starting at start. fn returning false stops the ticker.
+// starting at start. fn returning false stops the ticker. One Event object
+// is reused for every firing, so a per-cycle ticker costs no allocation
+// after setup.
 func (k *Kernel) Ticker(start Time, period Time, pri Priority, fn func(now Time) bool) {
 	if period <= 0 {
 		panic("sim: non-positive ticker period")
 	}
-	var tick func(now Time)
-	tick = func(now Time) {
-		if fn(now) {
-			k.Schedule(now+period, pri, tick)
-		}
+	if start < k.now {
+		panic("sim: scheduling event in the past")
 	}
-	k.Schedule(start, pri, tick)
+	e := &Event{at: start, pri: pri, seq: k.seq, tick: fn, every: period}
+	k.seq++
+	heap.Push(&k.heap, e)
 }

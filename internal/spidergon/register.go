@@ -1,0 +1,27 @@
+package spidergon
+
+import (
+	"quarc/internal/model"
+	"quarc/internal/network"
+	"quarc/internal/topology"
+)
+
+func init() {
+	model.Register(model.Model{
+		Name:        "spidergon",
+		Description: "Spidergon baseline: one-port router, single shared cross link, broadcast by unicast chains",
+		CheckN:      topology.ValidateRingSize,
+		ExampleN:    16,
+		Build: func(bc model.BuildConfig) (*network.Fabric, []model.Node, error) {
+			fab, as, err := Build(Config{N: bc.N, Depth: bc.Depth})
+			if err != nil {
+				return nil, nil, err
+			}
+			nodes := make([]model.Node, len(as))
+			for i, a := range as {
+				nodes[i] = a
+			}
+			return fab, nodes, nil
+		},
+	})
+}

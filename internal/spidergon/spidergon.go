@@ -191,7 +191,8 @@ func (a *Adapter) SendUnicast(dst, msgLen int, now int64) uint64 {
 		PktID: a.fab.NextPktID(), MsgID: msgID, Gen: now,
 	}
 	a.fab.Tracker.Register(msgID, network.ClassUnicast, a.Node, now, 1)
-	a.Queues[0].PushBack(flit.Packet(h, msgLen))
+	q := &a.Queues[0]
+	q.PushBack(q.NewPacket(h, msgLen))
 	return msgID
 }
 
@@ -208,7 +209,8 @@ func (a *Adapter) SendBroadcast(msgLen int, now int64) uint64 {
 			Remain: len(c.Nodes) - 1, ChainCCW: c.Dir == topology.CCW,
 			PktID: a.fab.NextPktID(), MsgID: msgID, Gen: now,
 		}
-		a.Queues[0].PushBack(flit.Packet(h, msgLen))
+		q := &a.Queues[0]
+		q.PushBack(q.NewPacket(h, msgLen))
 	}
 	return msgID
 }
@@ -229,7 +231,8 @@ func (a *Adapter) onTail(f flit.Flit, now int64) {
 		}
 		// The switch-created packet takes precedence over PE traffic on the
 		// single injection channel.
-		a.Queues[0].PushFront(flit.Packet(h, f.PktLen))
+		q := &a.Queues[0]
+		q.PushFront(q.NewPacket(h, f.PktLen))
 	}
 }
 

@@ -33,13 +33,17 @@ import (
 	"quarc/internal/cost"
 	"quarc/internal/experiments"
 	"quarc/internal/mesh"
+	"quarc/internal/model"
 	"quarc/internal/network"
 	qswitch "quarc/internal/quarc"
+	"quarc/internal/ring"
 	"quarc/internal/spidergon"
 	"quarc/internal/traffic"
 )
 
-// Topology selects a network model.
+// Topology is the legacy enum selecting one of the six original models; any
+// registered model — including ones with no enum member, such as "ring" —
+// can be selected by name through Config.Model.
 type Topology = experiments.Topology
 
 // Topology values.
@@ -170,6 +174,35 @@ func NewSpidergon(cfg SpidergonConfig) (*Fabric, []*SpidergonAdapter, error) {
 
 // NewMesh builds a mesh or torus.
 func NewMesh(cfg MeshConfig) (*Fabric, []*MeshAdapter, error) { return mesh.Build(cfg) }
+
+// RingAdapter and RingConfig expose the bidirectional-ring lower bound.
+type (
+	RingAdapter = ring.Adapter
+	RingConfig  = ring.Config
+)
+
+// NewRing builds a bidirectional ring.
+func NewRing(cfg RingConfig) (*Fabric, []*RingAdapter, error) { return ring.Build(cfg) }
+
+// Model registry: every network model the harness can simulate is a named
+// registration. Model describes one entry (name, metadata, builder);
+// ModelNode is the per-node surface a builder returns.
+type (
+	Model            = model.Model
+	ModelNode        = model.Node
+	ModelBuildConfig = model.BuildConfig
+)
+
+// RegisteredModels lists the registered models sorted by name.
+func RegisteredModels() []Model { return model.All() }
+
+// LookupModel resolves a model by its registry name.
+func LookupModel(name string) (Model, bool) { return model.Lookup(name) }
+
+// RegisterModel adds a model to the registry; Config.Model selects it by
+// name and the experiment harness, service layer and CLIs pick it up with
+// no further wiring. It panics on duplicate or malformed registrations.
+func RegisterModel(m Model) { model.Register(m) }
 
 // Traffic pattern selection for Config.Pattern.
 type Pattern = traffic.Pattern

@@ -1,0 +1,5 @@
+//go:build race
+
+package quarc_test
+
+const raceEnabled = true
