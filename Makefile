@@ -28,15 +28,15 @@ bench:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...
 
 # Benchmarks as data: run the tier-1 benchmarks with real bench time and
-# write ns/op, allocs/op and simulated cycles/sec (for FabricStep, compared
-# against the committed pre-refactor baseline) to BENCH_PR3.json. The bench
-# run goes to a file first so a failing run aborts the target instead of
-# being masked by the pipe.
+# write ns/op, allocs/op, simulated cycles/sec and per-benchmark speedups
+# against the committed pre-activity-scheduler baseline to BENCH_PR4.json.
+# The bench run goes to a file first so a failing run aborts the target
+# instead of being masked by the pipe.
 BENCHOUT ?= /tmp/quarc-bench.txt
 bench-json:
 	$(GO) test -run=^$$ -bench=. -benchmem -benchtime=$(BENCHTIME) . > $(BENCHOUT)
-	$(GO) run ./cmd/benchjson -baseline BENCH_PR3_BASELINE.txt < $(BENCHOUT) > BENCH_PR3.json
-	@echo "wrote BENCH_PR3.json"
+	$(GO) run ./cmd/benchjson -baseline BENCH_PR4_BASELINE.txt < $(BENCHOUT) > BENCH_PR4.json
+	@echo "wrote BENCH_PR4.json"
 
 # Run the simulation-as-a-service daemon in the foreground.
 serve:

@@ -44,3 +44,39 @@ func TestFabricStepSteadyStateAllocs(t *testing.T) {
 		t.Fatalf("Fabric.Step allocated %.1f times per cycle in steady state; want 0", allocs)
 	}
 }
+
+// TestActivityCycleSteadyStateAllocs guards the activity scheduler's own
+// machinery: draining a fabric to fully idle (every router sleeping),
+// fast-forwarding the clock, waking nodes by enqueue and stepping back up
+// must all run allocation-free once the free lists are warm — the
+// sleep/wake churn is the low-load hot path the scheduler exists for.
+func TestActivityCycleSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the guard runs without -race")
+	}
+	fab, nodes, err := quarc.NewQuarc(quarc.QuarcConfig{N: 64, Depth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idleWake := func() {
+		for !fab.Idle() {
+			fab.Step()
+		}
+		fab.AdvanceIdle(100)
+		for j, nd := range nodes {
+			if j%16 == 0 {
+				nd.SendUnicast((j+5)%64, 8, fab.Now())
+			}
+		}
+		for !fab.Idle() {
+			fab.Step()
+		}
+	}
+	// Warm every free list and scratch buffer through a few full cycles.
+	for i := 0; i < 50; i++ {
+		idleWake()
+	}
+	if allocs := testing.AllocsPerRun(100, idleWake); allocs != 0 {
+		t.Fatalf("idle/wake cycle allocated %.1f times in steady state; want 0", allocs)
+	}
+}

@@ -132,6 +132,44 @@ func BenchmarkExtension_MeshComparison(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepLowLoad is one low-load sweep point at full evaluation
+// windows: the regime most points of every Fig 9-11 curve sit in, where
+// almost all routers are empty almost every cycle. This is the benchmark the
+// activity-driven scheduler (active-router sets + idle-cycle skipping) is
+// aimed at; BENCH_PR4_BASELINE.txt holds the dense-stepping cost.
+func BenchmarkSweepLowLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := quarc.Run(quarc.Config{
+			Topo: quarc.TopoQuarc, N: 64, MsgLen: 16, Beta: 0.05, Rate: 0.0005,
+			Warmup: 2000, Measure: 10000, Drain: 20000, Depth: 4, Seed: 11,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.UnicastCount == 0 || res.Saturated {
+			b.Fatalf("low-load point degenerate: %+v", res)
+		}
+	}
+}
+
+// BenchmarkSweepSaturated is one deeply saturated sweep point, where the
+// active set is the whole fabric every cycle: the guard that activity-driven
+// scheduling costs nothing when there is no idleness to exploit.
+func BenchmarkSweepSaturated(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := quarc.Run(quarc.Config{
+			Topo: quarc.TopoQuarc, N: 16, MsgLen: 16, Beta: 0.05, Rate: 0.1,
+			Warmup: 200, Measure: 1000, Drain: 2000, Depth: 4, Seed: 12,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Saturated {
+			b.Fatal("saturated point did not saturate")
+		}
+	}
+}
+
 // BenchmarkFabricStep measures the core simulator step cost at a moderate
 // load on the largest evaluated network.
 func BenchmarkFabricStep(b *testing.B) {

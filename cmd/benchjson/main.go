@@ -1,18 +1,20 @@
 // Command benchjson converts `go test -bench` output into a JSON document,
 // so the repository can track its performance trajectory as data instead of
 // prose. `make bench-json` pipes the tier-1 benchmarks through it and writes
-// BENCH_PR3.json.
+// BENCH_PR4.json.
 //
 // For BenchmarkFabricStep one benchmark op is one simulated fabric cycle, so
 // the tool also derives simulated cycles per wall-clock second — the
 // simulator's headline throughput number. With -baseline pointing at a saved
-// raw benchmark log (the pre-refactor run committed as
-// BENCH_PR3_BASELINE.txt), the output embeds the baseline rows and the
-// fabric-step speedup against them.
+// raw benchmark log (the pre-optimisation run committed as
+// BENCH_PR4_BASELINE.txt), the output embeds the baseline rows and one
+// speedup delta per benchmark present in both runs, so a PR's target ratios
+// (speedup floors, regression ceilings) are readable straight out of the
+// document.
 //
 // Usage:
 //
-//	go test -run '^$' -bench . -benchmem . | benchjson -baseline BENCH_PR3_BASELINE.txt
+//	go test -run '^$' -bench . -benchmem . | benchjson -baseline BENCH_PR4_BASELINE.txt
 package main
 
 import (
@@ -39,22 +41,28 @@ type Benchmark struct {
 	CyclesPerSec float64 `json:"cycles_per_sec,omitempty"`
 }
 
-// FabricStepDelta compares the current FabricStep against the baseline.
-type FabricStepDelta struct {
-	BaselineNsPerOp      float64 `json:"baseline_ns_per_op"`
-	NsPerOp              float64 `json:"ns_per_op"`
-	BaselineCyclesPerSec float64 `json:"baseline_cycles_per_sec"`
-	CyclesPerSec         float64 `json:"cycles_per_sec"`
-	Speedup              float64 `json:"speedup"`
-	BaselineAllocsPerOp  float64 `json:"baseline_allocs_per_op"`
-	AllocsPerOp          float64 `json:"allocs_per_op"`
+// Delta compares one benchmark present in both runs against its baseline.
+type Delta struct {
+	Name                string  `json:"name"`
+	BaselineNsPerOp     float64 `json:"baseline_ns_per_op"`
+	NsPerOp             float64 `json:"ns_per_op"`
+	Speedup             float64 `json:"speedup"`
+	BaselineAllocsPerOp float64 `json:"baseline_allocs_per_op"`
+	AllocsPerOp         float64 `json:"allocs_per_op"`
+	// Cycles/sec pair, present only for FabricStep (one op == one simulated
+	// cycle).
+	BaselineCyclesPerSec float64 `json:"baseline_cycles_per_sec,omitempty"`
+	CyclesPerSec         float64 `json:"cycles_per_sec,omitempty"`
 }
 
 // Report is the emitted document.
 type Report struct {
-	Benchmarks []Benchmark      `json:"benchmarks"`
-	Baseline   []Benchmark      `json:"baseline,omitempty"`
-	FabricStep *FabricStepDelta `json:"fabric_step,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	Baseline   []Benchmark `json:"baseline,omitempty"`
+	// Deltas holds one row per benchmark present in both runs, so a PR's
+	// target ratios (speedup floors, regression ceilings) can be read
+	// straight out of the document.
+	Deltas []Delta `json:"deltas,omitempty"`
 }
 
 // benchLine matches `BenchmarkName[-P]  iters  ns/op [B/op allocs/op]` rows.
@@ -93,7 +101,7 @@ func find(bs []Benchmark, name string) *Benchmark {
 }
 
 func main() {
-	baselinePath := flag.String("baseline", "", "raw `go test -bench` log to compare FabricStep against")
+	baselinePath := flag.String("baseline", "", "raw `go test -bench` log to compare against")
 	flag.Parse()
 
 	current, err := parse(os.Stdin)
@@ -119,17 +127,25 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
-		base, cur := find(rep.Baseline, "FabricStep"), find(current, "FabricStep")
-		if base != nil && cur != nil && base.NsPerOp > 0 && cur.NsPerOp > 0 {
-			rep.FabricStep = &FabricStepDelta{
-				BaselineNsPerOp:      base.NsPerOp,
-				NsPerOp:              cur.NsPerOp,
-				BaselineCyclesPerSec: 1e9 / base.NsPerOp,
-				CyclesPerSec:         1e9 / cur.NsPerOp,
-				Speedup:              base.NsPerOp / cur.NsPerOp,
-				BaselineAllocsPerOp:  base.AllocsPerOp,
-				AllocsPerOp:          cur.AllocsPerOp,
+		for i := range current {
+			cur := &current[i]
+			base := find(rep.Baseline, cur.Name)
+			if base == nil || base.NsPerOp <= 0 || cur.NsPerOp <= 0 {
+				continue
 			}
+			d := Delta{
+				Name:                cur.Name,
+				BaselineNsPerOp:     base.NsPerOp,
+				NsPerOp:             cur.NsPerOp,
+				Speedup:             base.NsPerOp / cur.NsPerOp,
+				BaselineAllocsPerOp: base.AllocsPerOp,
+				AllocsPerOp:         cur.AllocsPerOp,
+			}
+			if cur.Name == "FabricStep" {
+				d.BaselineCyclesPerSec = 1e9 / base.NsPerOp
+				d.CyclesPerSec = 1e9 / cur.NsPerOp
+			}
+			rep.Deltas = append(rep.Deltas, d)
 		}
 	}
 

@@ -224,8 +224,7 @@ func (a *Adapter) SendUnicast(dst, msgLen int, now int64) uint64 {
 		PktID: a.fab.NextPktID(), MsgID: msgID, Gen: now,
 	}
 	a.fab.Tracker.Register(msgID, network.ClassUnicast, a.Node, now, 1)
-	q := &a.Queues[0]
-	q.PushBack(q.NewPacket(h, msgLen))
+	a.Enqueue(0, h, msgLen)
 	return msgID
 }
 
@@ -241,8 +240,7 @@ func (a *Adapter) SendBroadcast(msgLen int, now int64) uint64 {
 			Traffic: flit.Unicast, Src: a.Node, Dst: d,
 			PktID: a.fab.NextPktID(), MsgID: msgID, Gen: now,
 		}
-		q := &a.Queues[0]
-		q.PushBack(q.NewPacket(h, msgLen))
+		a.Enqueue(0, h, msgLen)
 	}
 	return msgID
 }

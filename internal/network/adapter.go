@@ -16,11 +16,15 @@ import (
 // index instead of reslicing, the backing array is compacted when it drains,
 // and fully injected packets return to a bounded free list that NewPacket
 // reuses — so a steady-state simulation injects messages without allocating.
+// A running flit counter makes FlitBacklog O(1): the saturation sampler
+// polls it for every node, and the activity scheduler polls it for every
+// stepped node every cycle.
 type PacketQueue struct {
-	pkts [][]flit.Flit
-	head int           // index of the front packet in pkts
-	pos  int           // next flit of the front packet
-	free [][]flit.Flit // recycled packet storage for NewPacket
+	pkts    [][]flit.Flit
+	head    int           // index of the front packet in pkts
+	pos     int           // next flit of the front packet
+	backlog int           // flits still to inject, maintained incrementally
+	free    [][]flit.Flit // recycled packet storage for NewPacket
 }
 
 // MaxFreePackets bounds a per-queue recycled-packet list; beyond it,
@@ -48,6 +52,7 @@ func (q *PacketQueue) PushBack(p []flit.Flit) {
 		panic("network: packet too short")
 	}
 	q.pkts = append(q.pkts, p)
+	q.backlog += len(p)
 }
 
 // PushFront inserts a packet to be sent next. If the front packet has
@@ -57,6 +62,7 @@ func (q *PacketQueue) PushFront(p []flit.Flit) {
 	if len(p) < 2 {
 		panic("network: packet too short")
 	}
+	q.backlog += len(p)
 	if q.pos == 0 && q.head > 0 {
 		// The drained prefix has a free slot just before the front packet:
 		// insert in O(1) instead of shifting the live region.
@@ -87,6 +93,7 @@ func (q *PacketQueue) Advance() {
 		panic("network: Advance on empty queue")
 	}
 	q.pos++
+	q.backlog--
 	if q.pos == len(q.pkts[q.head]) {
 		done := q.pkts[q.head]
 		q.pkts[q.head] = nil
@@ -115,30 +122,38 @@ func (q *PacketQueue) Advance() {
 // Packets returns the queued packet count.
 func (q *PacketQueue) Packets() int { return len(q.pkts) - q.head }
 
-// FlitBacklog returns the number of flits still to inject.
-func (q *PacketQueue) FlitBacklog() int {
-	total := 0
-	for i := q.head; i < len(q.pkts); i++ {
-		total += len(q.pkts[i])
-	}
-	total -= q.pos
-	return total
-}
+// FlitBacklog returns the number of flits still to inject, in O(1).
+func (q *PacketQueue) FlitBacklog() int { return q.backlog }
 
 // Assembler reassembles packets delivered flit by flit (the receive side of
 // the transceiver). Packets from different sources interleave freely; each
 // is tracked by packet id.
+//
+// In-progress packets live in a small reused slice rather than a map: the
+// population is bounded by the handful of streams a switch can interleave
+// into one PE, so a linear scan beats hashing, and completing a packet does
+// not churn map buckets — the receive path allocates nothing in steady
+// state.
 type Assembler struct {
-	partial map[uint64]int
+	partial []partialPkt
+}
+
+type partialPkt struct {
+	pkt uint64
+	got int
 }
 
 // Add consumes one delivered flit and reports whether it completed a packet
 // (i.e. it was the tail and all earlier flits had arrived).
 func (a *Assembler) Add(f flit.Flit) bool {
-	if a.partial == nil {
-		a.partial = make(map[uint64]int)
+	at := -1
+	got := 0
+	for i := range a.partial {
+		if a.partial[i].pkt == f.PktID {
+			at, got = i, a.partial[i].got
+			break
+		}
 	}
-	got := a.partial[f.PktID]
 	if f.Seq != got {
 		panic(fmt.Sprintf("network: out-of-order delivery: pkt %d flit %d after %d flits",
 			f.PktID, f.Seq, got))
@@ -147,10 +162,20 @@ func (a *Assembler) Add(f flit.Flit) bool {
 		if got+1 != f.PktLen && f.PktLen != 0 {
 			panic(fmt.Sprintf("network: tail of pkt %d after %d flits", f.PktID, got+1))
 		}
-		delete(a.partial, f.PktID)
+		if at >= 0 {
+			// Order is irrelevant (lookup is by packet id): swap-remove so
+			// the slot is reused without shifting.
+			last := len(a.partial) - 1
+			a.partial[at] = a.partial[last]
+			a.partial = a.partial[:last]
+		}
 		return true
 	}
-	a.partial[f.PktID] = got + 1
+	if at >= 0 {
+		a.partial[at].got = got + 1
+	} else {
+		a.partial = append(a.partial, partialPkt{pkt: f.PktID, got: 1})
+	}
 	return false
 }
 
@@ -170,6 +195,45 @@ type BaseAdapter struct {
 
 	// OnTail is invoked when a packet completes reassembly at this node.
 	OnTail func(f flit.Flit, now int64)
+
+	fab *Fabric // set by Fabric.SetAdapter; carries wake-on-enqueue
+}
+
+// bind gives the adapter its wake target; Fabric.SetAdapter calls it, and
+// its presence (via the binder interface) is what marks the node as safe to
+// put to sleep.
+func (b *BaseAdapter) bind(f *Fabric, node int) {
+	if node != b.Node {
+		panic(fmt.Sprintf("network: adapter for node %d installed at node %d", b.Node, node))
+	}
+	b.fab = f
+}
+
+// Wake reactivates this adapter's node in the fabric's step set. Every path
+// that enqueues source traffic must call it (the Enqueue helpers do), or a
+// sleeping router would never notice the new packet. Outside a fabric (unit
+// tests driving a bare adapter) it is a no-op.
+func (b *BaseAdapter) Wake() {
+	if b.fab != nil {
+		b.fab.wake(b.Node)
+	}
+}
+
+// Enqueue assembles a packet of length flits headed by h, appends it to
+// source queue qi (reusing that queue's recycled storage) and wakes the
+// node.
+func (b *BaseAdapter) Enqueue(qi int, h flit.Flit, length int) {
+	q := &b.Queues[qi]
+	q.PushBack(q.NewPacket(h, length))
+	b.Wake()
+}
+
+// EnqueueFront is Enqueue at the head of the queue: switch-generated
+// packets (chain retransmissions) bypass waiting PE traffic.
+func (b *BaseAdapter) EnqueueFront(qi int, h flit.Flit, length int) {
+	q := &b.Queues[qi]
+	q.PushFront(q.NewPacket(h, length))
+	b.Wake()
 }
 
 // Feed pushes at most one flit per injection port into the router.
@@ -194,7 +258,8 @@ func (b *BaseAdapter) Receive(f flit.Flit, now int64) {
 }
 
 // Backlog returns the total flits waiting in this adapter's source queues;
-// the experiment layer samples it to detect saturation.
+// the experiment layer samples it to detect saturation and the fabric polls
+// it before sleeping the node, so it stays O(number of queues).
 func (b *BaseAdapter) Backlog() int {
 	total := 0
 	for i := range b.Queues {

@@ -5,10 +5,21 @@
 //
 // The fabric is topology-agnostic: internal/quarc, internal/spidergon and
 // internal/mesh provide router configurations, wiring tables and adapters.
+//
+// Stepping is activity-driven: the fabric keeps a set of active nodes (any
+// buffered flit or pending source-queue backlog) and each cycle snapshots,
+// arbitrates, commits and feeds only those. Routers are woken by flits
+// pushed into them and by adapter enqueues, and go to sleep when fully
+// drained; slept cycles are credited to their statistics in bulk, so the
+// observable simulation — every flit movement, every counter — is
+// bit-identical to stepping all N routers every cycle (SetDense selects that
+// reference behaviour, and the experiment layer's equivalence suite proves
+// the identity for every registered model).
 package network
 
 import (
 	"fmt"
+	"math/bits"
 
 	"quarc/internal/flit"
 	"quarc/internal/router"
@@ -36,6 +47,18 @@ type Adapter interface {
 	Feed(now int64)
 	// Receive consumes a flit delivered to the local PE.
 	Receive(f flit.Flit, now int64)
+	// Backlog returns the flits still waiting in the adapter's source
+	// queues; the fabric consults it before putting a drained router to
+	// sleep, so it must be cheap (O(1) for BaseAdapter).
+	Backlog() int
+}
+
+// binder is implemented by adapters (BaseAdapter and anything embedding it)
+// that accept a wake callback: the fabric installs one in SetAdapter so
+// source-queue enqueues can reactivate a sleeping node. Adapters that do not
+// implement it are never put to sleep.
+type binder interface {
+	bind(fab *Fabric, node int)
 }
 
 // Fabric is the assembled network.
@@ -55,8 +78,17 @@ type Fabric struct {
 	pktSeq   uint64
 	msgSeq   uint64
 
+	// Activity scheduling state.
+	activeMask []uint64 // bit per node: stepped next cycle
+	stepList   []int    // scratch: nodes stepped this cycle, ascending
+	idleSince  []int64  // first un-stepped cycle while asleep; -1 when awake
+	canSleep   []bool   // adapter supports wake-on-enqueue
+	sleeping   int      // nodes currently asleep
+	dense      bool     // reference mode: step every router every cycle
+
 	delivered uint64 // flits delivered to PEs
 	forwarded uint64 // flits crossing links
+	stepped   uint64 // router-steps executed (activity diagnostic)
 }
 
 type creditView struct {
@@ -76,13 +108,23 @@ func New(routers []*router.Router, wires [][]OutputWire, injStart []int) *Fabric
 		panic("network: inconsistent fabric tables")
 	}
 	f := &Fabric{
-		N:        n,
-		Routers:  routers,
-		Adapters: make([]Adapter, n),
-		Tracker:  NewTracker(),
-		wires:    wires,
-		injStart: injStart,
-		moves:    make([][]router.Move, n),
+		N:          n,
+		Routers:    routers,
+		Adapters:   make([]Adapter, n),
+		Tracker:    NewTracker(),
+		wires:      wires,
+		injStart:   injStart,
+		moves:      make([][]router.Move, n),
+		activeMask: make([]uint64, (n+63)/64),
+		stepList:   make([]int, 0, n),
+		idleSince:  make([]int64, n),
+		canSleep:   make([]bool, n),
+	}
+	// Every node starts awake (matching a dense cycle 0); empty routers go
+	// quiescent after their first step.
+	for node := 0; node < n; node++ {
+		f.activeMask[node>>6] |= 1 << uint(node&63)
+		f.idleSince[node] = -1
 	}
 	f.views = make([][]router.Downstream, n)
 	for node, ws := range wires {
@@ -103,7 +145,28 @@ func New(routers []*router.Router, wires [][]OutputWire, injStart []int) *Fabric
 
 // SetAdapter installs the network adapter of a node. All nodes must have one
 // before stepping.
-func (f *Fabric) SetAdapter(node int, a Adapter) { f.Adapters[node] = a }
+func (f *Fabric) SetAdapter(node int, a Adapter) {
+	f.Adapters[node] = a
+	if b, ok := a.(binder); ok {
+		b.bind(f, node)
+		f.canSleep[node] = true
+	} else {
+		// An adapter without wake plumbing cannot reactivate its node on
+		// enqueue, so the node must stay in the step set forever.
+		f.canSleep[node] = false
+	}
+}
+
+// SetDense switches the fabric to the dense reference behaviour: every
+// router stepped every cycle, no sleeping. It exists so the activity-driven
+// scheduler can be proved bit-identical against it; call it before the first
+// Step.
+func (f *Fabric) SetDense(dense bool) {
+	if f.cycle != 0 {
+		panic("network: SetDense after stepping began")
+	}
+	f.dense = dense
+}
 
 // Now returns the current cycle.
 func (f *Fabric) Now() int64 { return f.cycle }
@@ -121,10 +184,57 @@ func (f *Fabric) FlitsDelivered() uint64 { return f.delivered }
 // injection links).
 func (f *Fabric) FlitsForwarded() uint64 { return f.forwarded }
 
+// SteppedRouters returns the cumulative number of router-steps executed.
+// Dense stepping performs N per cycle; the ratio of this counter to N*Now()
+// is the activity factor the scheduler exploited.
+func (f *Fabric) SteppedRouters() uint64 { return f.stepped }
+
+// ActiveNodes returns how many nodes are in the step set for the next cycle.
+func (f *Fabric) ActiveNodes() int {
+	total := 0
+	for _, w := range f.activeMask {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// Idle reports whether the step set is empty: no router holds a flit and no
+// source queue has backlog, so nothing can happen until new traffic is
+// enqueued. The fabric clock may fast-forward over idle stretches with
+// AdvanceIdle.
+func (f *Fabric) Idle() bool {
+	for _, w := range f.activeMask {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// wake puts a node back into the step set. Slept cycles are reconciled into
+// its statistics when it is next stepped.
+func (f *Fabric) wake(node int) {
+	f.activeMask[node>>6] |= 1 << uint(node&63)
+}
+
+// SyncStats brings the cycle counters of sleeping routers up to the current
+// cycle, as if each had been stepped (empty) every cycle. It is idempotent
+// at a given cycle; RouterStats calls it implicitly, and tests comparing
+// per-router statistics against dense stepping call it first.
+func (f *Fabric) SyncStats() {
+	for node, since := range f.idleSince {
+		if since >= 0 && since < f.cycle {
+			f.Routers[node].AddIdleCycles(uint64(f.cycle - since))
+			f.idleSince[node] = f.cycle
+		}
+	}
+}
+
 // RouterStats aggregates the microarchitectural counters of all switches:
 // total grants, stalls by cause, and the network-wide buffer-occupancy
 // integral.
 func (f *Fabric) RouterStats() router.Stats {
+	f.SyncStats()
 	var agg router.Stats
 	for _, r := range f.Routers {
 		s := r.Stats()
@@ -151,19 +261,47 @@ func (f *Fabric) LinkLoad() [][]uint64 {
 	return out
 }
 
-// Step advances the network by one cycle.
+// Step advances the network by one cycle, visiting only active routers.
 func (f *Fabric) Step() {
-	// Phase 0: latch occupancy snapshots (registered credits).
-	for _, r := range f.Routers {
-		r.Snapshot()
+	// Latch the step set for this cycle: wakes during the cycle (commit
+	// pushes, adapter enqueues) take effect next cycle, exactly when a dense
+	// step would first observe the new flit.
+	list := f.stepList[:0]
+	if f.dense {
+		for node := 0; node < f.N; node++ {
+			list = append(list, node)
+		}
+	} else {
+		for wi, word := range f.activeMask {
+			base := wi << 6
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &^= 1 << uint(b)
+				list = append(list, base+b)
+			}
+		}
 	}
-	// Phase 1: all routers arbitrate against the snapshots.
-	for node, r := range f.Routers {
-		f.moves[node] = r.Arbitrate(f.views[node], f.moves[node][:0])
+	f.stepList = list
+	f.stepped += uint64(len(list))
+
+	// Phase 0: latch occupancy snapshots (registered credits), crediting
+	// newly woken routers with their slept cycles first.
+	for _, node := range list {
+		if f.idleSince[node] >= 0 {
+			f.Routers[node].AddIdleCycles(uint64(f.cycle - f.idleSince[node]))
+			f.idleSince[node] = -1
+			f.sleeping--
+		}
+		f.Routers[node].Snapshot()
+	}
+	// Phase 1: active routers arbitrate against the snapshots.
+	for _, node := range list {
+		f.moves[node] = f.Routers[node].Arbitrate(f.views[node], f.moves[node][:0])
 	}
 	// Phase 2: commit switch state, deliver ejected copies, move flits
 	// across links.
-	for node, r := range f.Routers {
+	for _, node := range list {
+		r := f.Routers[node]
 		moves := f.moves[node]
 		r.Commit(moves)
 		for i := range moves {
@@ -202,13 +340,50 @@ func (f *Fabric) Step() {
 				panic(fmt.Sprintf("network: credit violation pushing into %d.%d vc %d",
 					w.Dst.Node, w.Dst.Port, m.OutVC))
 			}
+			f.wake(w.Dst.Node)
 		}
 	}
 	// Phase 3: adapters refill injection lanes.
-	for _, a := range f.Adapters {
-		a.Feed(f.cycle)
+	for _, node := range list {
+		f.Adapters[node].Feed(f.cycle)
+	}
+	// Fully drained nodes leave the step set until a push or an enqueue
+	// wakes them. Refreshing the credit snapshot on the way out is what
+	// keeps upstream credit views identical to dense stepping, where the
+	// next cycle would re-latch the drained (all-free) state.
+	if !f.dense {
+		for _, node := range list {
+			r := f.Routers[node]
+			if r.Quiescent() && f.canSleep[node] && f.Adapters[node].Backlog() == 0 {
+				f.activeMask[node>>6] &^= 1 << uint(node&63)
+				f.idleSince[node] = f.cycle + 1
+				f.sleeping++
+				r.RefreshSnapshot()
+			}
+		}
 	}
 	f.cycle++
+}
+
+// AdvanceIdle fast-forwards the fabric clock over cycles during which every
+// router is verifiably empty: sleeping-router statistics are reconciled
+// lazily, so the whole skip is O(1) regardless of length. It is only legal
+// while every node is asleep (nodes woken by pending source enqueues are
+// fine: their flits cannot enter a router before the next Step). The
+// experiment layer pairs it with the kernel's ticker skip to jump from one
+// traffic arrival to the next without simulating the empty cycles between.
+func (f *Fabric) AdvanceIdle(cycles int64) {
+	if cycles < 0 {
+		panic("network: negative idle advance")
+	}
+	if cycles == 0 {
+		return
+	}
+	if f.sleeping != f.N {
+		panic(fmt.Sprintf("network: AdvanceIdle with %d of %d routers awake",
+			f.N-f.sleeping, f.N))
+	}
+	f.cycle += cycles
 }
 
 // Run advances the fabric by the given number of cycles.

@@ -29,11 +29,13 @@ type Transceiver struct {
 
 // PacketPortQueue is a single source queue whose packets each carry the
 // injection port they must use; it reintroduces head-of-line blocking for
-// the one-port ablation.
+// the one-port ablation. Like network.PacketQueue it keeps a running flit
+// counter so the backlog probe is O(1).
 type PacketPortQueue struct {
-	items []portPkt
-	pos   int // next flit of the front packet
-	free  [][]flit.Flit
+	items   []portPkt
+	pos     int // next flit of the front packet
+	pending int // flits still to inject
+	free    [][]flit.Flit
 }
 
 type portPkt struct {
@@ -55,6 +57,7 @@ func (p *PacketPortQueue) newPacket(h flit.Flit, length int) []flit.Flit {
 
 func (p *PacketPortQueue) push(pkt []flit.Flit, port int) {
 	p.items = append(p.items, portPkt{pkt, port})
+	p.pending += len(pkt)
 }
 
 // pushFront inserts a packet to be sent next, without disturbing a front
@@ -67,6 +70,7 @@ func (p *PacketPortQueue) pushFront(pkt []flit.Flit, port int) {
 	p.items = append(p.items, portPkt{})
 	copy(p.items[at+1:], p.items[at:])
 	p.items[at] = portPkt{pkt, port}
+	p.pending += len(pkt)
 }
 
 func (p *PacketPortQueue) next() (flit.Flit, int, bool) {
@@ -78,6 +82,7 @@ func (p *PacketPortQueue) next() (flit.Flit, int, bool) {
 
 func (p *PacketPortQueue) advance() {
 	p.pos++
+	p.pending--
 	if p.pos == len(p.items[0].pkt) {
 		if len(p.free) < network.MaxFreePackets {
 			p.free = append(p.free, p.items[0].pkt)
@@ -88,14 +93,7 @@ func (p *PacketPortQueue) advance() {
 	}
 }
 
-func (p *PacketPortQueue) backlog() int {
-	total := 0
-	for i := range p.items {
-		total += len(p.items[i].pkt)
-	}
-	total -= p.pos
-	return total
-}
+func (p *PacketPortQueue) backlog() int { return p.pending }
 
 func newTransceiver(fab *network.Fabric, r *router.Router, node int, cfg Config) *Transceiver {
 	t := &Transceiver{n: cfg.N, fab: fab, cfg: cfg}
@@ -139,24 +137,26 @@ func (t *Transceiver) Backlog() int {
 }
 
 // enqueue assembles a packet of length flits headed by h in the quadrant's
-// source queue, reusing that queue's recycled storage.
+// source queue, reusing that queue's recycled storage. Every enqueue wakes
+// the node: a quiescent router must re-enter the fabric's step set to feed
+// the new packet.
 func (t *Transceiver) enqueue(h flit.Flit, length int, q topology.Quadrant) {
 	if t.cfg.SingleQueue {
 		t.single.push(t.single.newPacket(h, length), injPortFor(q))
+		t.Wake()
 		return
 	}
-	sq := &t.Queues[int(q)]
-	sq.PushBack(sq.NewPacket(h, length))
+	t.Enqueue(int(q), h, length)
 }
 
 func (t *Transceiver) enqueueFront(h flit.Flit, length int, q topology.Quadrant) {
 	if t.cfg.SingleQueue {
 		// Chain retransmissions bypass PE traffic even in the ablation.
 		t.single.pushFront(t.single.newPacket(h, length), injPortFor(q))
+		t.Wake()
 		return
 	}
-	sq := &t.Queues[int(q)]
-	sq.PushFront(sq.NewPacket(h, length))
+	t.EnqueueFront(int(q), h, length)
 }
 
 // SendUnicast queues a unicast message of msgLen flits for dst.

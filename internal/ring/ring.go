@@ -228,8 +228,7 @@ func (a *Adapter) SendUnicast(dst, msgLen int, now int64) uint64 {
 		PktID: a.fab.NextPktID(), MsgID: msgID, Gen: now,
 	}
 	a.fab.Tracker.Register(msgID, network.ClassUnicast, a.Node, now, 1)
-	q := &a.Queues[0]
-	q.PushBack(q.NewPacket(h, msgLen))
+	a.Enqueue(0, h, msgLen)
 	return msgID
 }
 
@@ -237,7 +236,6 @@ func (a *Adapter) SendUnicast(dst, msgLen int, now int64) uint64 {
 func (a *Adapter) SendBroadcast(msgLen int, now int64) uint64 {
 	msgID := a.fab.NextMsgID()
 	a.fab.Tracker.Register(msgID, network.ClassBroadcast, a.Node, now, a.n-1)
-	q := &a.Queues[0]
 	for d := 0; d < a.n; d++ {
 		if d == a.Node {
 			continue
@@ -246,7 +244,7 @@ func (a *Adapter) SendBroadcast(msgLen int, now int64) uint64 {
 			Traffic: flit.Unicast, Src: a.Node, Dst: d,
 			PktID: a.fab.NextPktID(), MsgID: msgID, Gen: now,
 		}
-		q.PushBack(q.NewPacket(h, msgLen))
+		a.Enqueue(0, h, msgLen)
 	}
 	return msgID
 }

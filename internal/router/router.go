@@ -110,12 +110,13 @@ type Move struct {
 
 // Router is one switch instance.
 type Router struct {
-	cfg     Config
-	in      []inputPort
-	out     []outputPort
-	bids    []bid  // reused each cycle
-	granted []bool // reused each cycle: per input, action taken
-	stats   Stats
+	cfg      Config
+	in       []inputPort
+	out      []outputPort
+	bids     []bid  // reused each cycle
+	granted  []bool // reused each cycle: per input, action taken
+	buffered int    // flits across all input lanes (O(1) quiescence report)
+	stats    Stats
 }
 
 type bid struct {
@@ -183,7 +184,42 @@ func (r *Router) LaneLen(in, ln int) int { return r.in[in].lanes[ln].q.Len() }
 // is full; callers must respect the credit/handshake and treat false as a
 // protocol violation.
 func (r *Router) Push(in, ln int, f flit.Flit) bool {
-	return r.in[in].lanes[ln].q.Push(f)
+	if !r.in[in].lanes[ln].q.Push(f) {
+		return false
+	}
+	r.buffered++
+	return true
+}
+
+// Quiescent reports whether the switch holds no flits at all. A quiescent
+// router's cycle is a no-op apart from statistics accounting: it produces no
+// bids, commits no moves and its credit view cannot change until a flit is
+// pushed in, so the network may skip stepping it entirely. Held output VCs
+// (a lane mid-packet whose buffered flits all departed) do not block
+// quiescence: they only matter once the next flit arrives, which wakes the
+// router.
+func (r *Router) Quiescent() bool { return r.buffered == 0 }
+
+// RefreshSnapshot re-latches the per-lane credit snapshots from the live
+// lane occupancy without accounting a cycle. The network calls it when it
+// puts a drained router to sleep: upstream routers keep reading the sleeping
+// router's snapshot as their credit view, so it must reflect the drained
+// state rather than whatever the last stepped cycle latched.
+func (r *Router) RefreshSnapshot() {
+	for i := range r.in {
+		p := &r.in[i]
+		for l := range p.lanes {
+			p.snap[l] = p.lanes[l].q.Free()
+		}
+	}
+}
+
+// AddIdleCycles accounts n cycles the network skipped stepping this router
+// in bulk: the occupancy integral gains nothing (a skipped router holds no
+// flits) and the cycle count gains n, so MeanOccupancy and every per-cycle
+// rate stay bit-identical to dense stepping.
+func (r *Router) AddIdleCycles(n uint64) {
+	r.stats.Cycles += n
 }
 
 // Sent returns the number of flits the given output port has transmitted
@@ -420,6 +456,7 @@ func (r *Router) Commit(moves []Move) {
 		if !ok || f.PktID != m.Flit.PktID || f.Seq != m.Flit.Seq {
 			panic(fmt.Sprintf("router %d: commit desync at in %d lane %d", r.cfg.Node, m.In, m.Lane))
 		}
+		r.buffered--
 		// FCU bookkeeping: the lane remembers its packet's decision from
 		// header to tail, whether the packet is being forwarded or absorbed
 		// locally.

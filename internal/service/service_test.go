@@ -156,10 +156,12 @@ func TestQueuedDuplicateServedFromCache(t *testing.T) {
 }
 
 // slowRun is a single-point run long enough (hundreds of milliseconds) that
-// a test can act while it is still running.
+// a test can act while it is still running. The network is saturated so the
+// active set is the whole fabric: activity-driven stepping cannot shortcut
+// it, keeping the duration stable across scheduler improvements.
 func slowRun() RunRequest {
-	return RunRequest{N: 8, MsgLen: 4, Rate: 0.002, Warmup: 100,
-		Measure: 400000, Drain: 4000, Seed: 9}
+	return RunRequest{N: 16, MsgLen: 16, Rate: 0.2, Warmup: 100,
+		Measure: 120000, Drain: 4000, Seed: 9}
 }
 
 // An identical uncached submission arriving while its twin is still running

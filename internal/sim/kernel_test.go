@@ -1,0 +1,179 @@
+package sim
+
+import "testing"
+
+// Dedicated Kernel bookkeeping tests: the calendar's Pending/NextEventTime
+// accounting and the repeating-event (ticker) lifecycle, including the skip
+// API the activity-driven fabric ticker uses.
+
+func TestPendingExcludesCancelled(t *testing.T) {
+	var k Kernel
+	a := k.Schedule(5, PriFabric, func(Time) {})
+	b := k.Schedule(7, PriFabric, func(Time) {})
+	if k.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", k.Pending())
+	}
+	a.Cancel()
+	if k.Pending() != 1 {
+		t.Fatalf("Pending = %d after cancel, want 1", k.Pending())
+	}
+	a.Cancel() // double cancel must not double-decrement
+	if k.Pending() != 1 {
+		t.Fatalf("Pending = %d after double cancel, want 1", k.Pending())
+	}
+	k.Run(10)
+	if k.Pending() != 0 {
+		t.Fatalf("Pending = %d after run, want 0", k.Pending())
+	}
+	b.Cancel() // cancelling an already fired event is a no-op
+	if k.Pending() != 0 {
+		t.Fatalf("Pending = %d after post-fire cancel, want 0", k.Pending())
+	}
+}
+
+func TestCancelBeforeFire(t *testing.T) {
+	var k Kernel
+	fired := 0
+	e := k.Schedule(3, PriFabric, func(Time) { fired++ })
+	k.Schedule(3, PriFabric, func(Time) { fired++ })
+	e.Cancel()
+	k.Run(10)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1 (cancelled event must not run)", fired)
+	}
+	if k.Fired() != 1 {
+		t.Fatalf("Fired() = %d, want 1", k.Fired())
+	}
+}
+
+// Same-cycle ordering: priority first, then insertion sequence — including a
+// ticker re-pushed at the cycle it fired from (its sequence is taken after
+// the callback, so it runs after same-priority events already scheduled).
+func TestSameCyclePriorityThenSeq(t *testing.T) {
+	var k Kernel
+	var got []string
+	k.Schedule(4, PriStats, func(Time) { got = append(got, "stats") })
+	k.Schedule(4, PriFabric, func(Time) { got = append(got, "fabric-a") })
+	k.Schedule(4, PriTraffic, func(Time) { got = append(got, "traffic") })
+	k.Schedule(4, PriFabric, func(Time) { got = append(got, "fabric-b") })
+	k.Run(4)
+	want := []string{"traffic", "fabric-a", "fabric-b", "stats"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTickerSelfStop(t *testing.T) {
+	var k Kernel
+	ticks := 0
+	k.Ticker(0, 2, PriFabric, func(now Time) bool {
+		ticks++
+		return now < 4 // fires at 0, 2, 4; stops after 4
+	})
+	k.Run(100)
+	if ticks != 3 {
+		t.Fatalf("ticks = %d, want 3", ticks)
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("Pending = %d after ticker stop, want 0", k.Pending())
+	}
+}
+
+func TestTickerCancel(t *testing.T) {
+	var k Kernel
+	ticks := 0
+	e := k.Ticker(0, 1, PriFabric, func(Time) bool { ticks++; return true })
+	k.Run(2)
+	if ticks != 3 {
+		t.Fatalf("ticks = %d, want 3", ticks)
+	}
+	e.Cancel()
+	if k.Pending() != 0 {
+		t.Fatalf("Pending = %d after ticker cancel, want 0", k.Pending())
+	}
+	k.Run(10)
+	if ticks != 3 {
+		t.Fatal("cancelled ticker kept firing")
+	}
+}
+
+func TestNextEventTime(t *testing.T) {
+	var k Kernel
+	if _, ok := k.NextEventTime(); ok {
+		t.Fatal("empty calendar reported a next event")
+	}
+	a := k.Schedule(9, PriFabric, func(Time) {})
+	k.Schedule(12, PriFabric, func(Time) {})
+	if at, ok := k.NextEventTime(); !ok || at != 9 {
+		t.Fatalf("NextEventTime = %d,%v, want 9,true", at, ok)
+	}
+	// A cancelled head must be skipped, not reported.
+	a.Cancel()
+	if at, ok := k.NextEventTime(); !ok || at != 12 {
+		t.Fatalf("NextEventTime = %d,%v after cancel, want 12,true", at, ok)
+	}
+	k.Run(20)
+	if _, ok := k.NextEventTime(); ok {
+		t.Fatal("drained calendar reported a next event")
+	}
+}
+
+// TestTickerSkipTo is the idle-skipping contract: a per-cycle ticker can
+// fast-forward its next firing to the calendar's next event, and the skip
+// never moves a firing earlier than one period ahead.
+func TestTickerSkipTo(t *testing.T) {
+	var k Kernel
+	var ticks []Time
+	arrivals := []Time{40, 41, 90}
+	for _, at := range arrivals {
+		k.Schedule(at, PriTraffic, func(Time) {})
+	}
+	var e *Event
+	e = k.Ticker(0, 1, PriFabric, func(now Time) bool {
+		ticks = append(ticks, now)
+		if next, ok := k.NextEventTime(); ok && next > now+1 {
+			e.SkipTo(next)
+		}
+		return now < 100
+	})
+	k.Run(200)
+	// Tick at 0 skips to 40; 40 sees the arrival at 41 (period lower bound
+	// keeps it at 41, not earlier); 41 skips to 90; 90 has nothing left and
+	// ticks densely until the callback stops itself at 100.
+	want := []Time{0, 40, 41, 90}
+	for i := Time(91); i <= 100; i++ {
+		want = append(want, i)
+	}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}
+
+// TestTickerSkipToPastUntil: a skip target beyond the run horizon simply
+// parks the ticker there; Run still ends at until.
+func TestTickerSkipToPastUntil(t *testing.T) {
+	var k Kernel
+	ticks := 0
+	var e *Event
+	e = k.Ticker(0, 1, PriFabric, func(now Time) bool {
+		ticks++
+		e.SkipTo(500)
+		return true
+	})
+	if end := k.Run(100); end != 100 {
+		t.Fatalf("Run returned %d, want 100", end)
+	}
+	if ticks != 1 {
+		t.Fatalf("ticks = %d, want 1", ticks)
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("Pending = %d, want the parked ticker", k.Pending())
+	}
+}

@@ -34,19 +34,33 @@ type Event struct {
 	// same Event object is re-pushed every cycles later while tick returns
 	// true. Reusing the object keeps per-cycle tickers (the fabric clock)
 	// allocation-free.
-	tick  func(now Time) bool
-	every Time
-	dead  bool
-	idx   int
+	tick   func(now Time) bool
+	every  Time
+	skipTo Time
+	k      *Kernel
+	dead   bool
+	idx    int
 }
 
 // Cancel marks the event so that it will not fire. Cancelling an already
 // fired or cancelled event is a no-op.
 func (e *Event) Cancel() {
-	if e != nil {
-		e.dead = true
+	if e == nil || e.dead {
+		return
+	}
+	e.dead = true
+	if e.k != nil && e.idx >= 0 {
+		e.k.live--
 	}
 }
+
+// SkipTo requests that this repeating event's next firing be at the given
+// absolute time instead of one period after the current one (it never moves
+// the firing earlier than that). Call it from inside the event's own
+// callback; the request applies to the upcoming reschedule only. The fabric
+// ticker uses it to fast-forward over stretches of cycles in which nothing
+// can happen.
+func (e *Event) SkipTo(at Time) { e.skipTo = at }
 
 type eventHeap []*Event
 
@@ -75,6 +89,7 @@ func (h *eventHeap) Pop() any {
 	n := len(old)
 	e := old[n-1]
 	old[n-1] = nil
+	e.idx = -1
 	*h = old[:n-1]
 	return e
 }
@@ -84,6 +99,7 @@ type Kernel struct {
 	heap    eventHeap
 	now     Time
 	seq     uint64
+	live    int // scheduled, not-cancelled events
 	stopped bool
 	fired   uint64
 }
@@ -94,9 +110,24 @@ func (k *Kernel) Now() Time { return k.now }
 // Fired returns the number of events executed so far.
 func (k *Kernel) Fired() uint64 { return k.fired }
 
-// Pending returns the number of events still scheduled (including cancelled
-// ones not yet discarded).
-func (k *Kernel) Pending() int { return len(k.heap) }
+// Pending returns the number of events still scheduled to fire. Cancelled
+// events are excluded, whether or not their heap slots have been discarded
+// yet.
+func (k *Kernel) Pending() int { return k.live }
+
+// NextEventTime returns the time of the earliest event still scheduled to
+// fire, and false when the calendar is empty. Dead (cancelled) entries at the
+// head of the calendar are discarded on the way, so the reported time is
+// always one at which something will actually run.
+func (k *Kernel) NextEventTime() (Time, bool) {
+	for len(k.heap) > 0 && k.heap[0].dead {
+		heap.Pop(&k.heap)
+	}
+	if len(k.heap) == 0 {
+		return 0, false
+	}
+	return k.heap[0].at, true
+}
 
 // Schedule registers fn to run at the given absolute time. Scheduling in the
 // past (before Now) panics: the fabric depends on causality.
@@ -104,8 +135,9 @@ func (k *Kernel) Schedule(at Time, pri Priority, fn func(now Time)) *Event {
 	if at < k.now {
 		panic("sim: scheduling event in the past")
 	}
-	e := &Event{at: at, pri: pri, seq: k.seq, fn: fn}
+	e := &Event{at: at, pri: pri, seq: k.seq, fn: fn, k: k}
 	k.seq++
+	k.live++
 	heap.Push(&k.heap, e)
 	return e
 }
@@ -132,6 +164,7 @@ func (k *Kernel) Run(until Time) Time {
 		if e.dead {
 			continue
 		}
+		k.live--
 		k.now = e.at
 		k.fired++
 		if e.tick != nil {
@@ -139,9 +172,15 @@ func (k *Kernel) Run(until Time) Time {
 			// sequence number is taken after the callback runs, matching a
 			// callback that reschedules itself as its last action.
 			if e.tick(e.at) && !e.dead {
-				e.at += e.every
+				next := e.at + e.every
+				if e.skipTo > next {
+					next = e.skipTo
+				}
+				e.skipTo = 0
+				e.at = next
 				e.seq = k.seq
 				k.seq++
+				k.live++
 				heap.Push(&k.heap, e)
 			}
 			continue
@@ -157,15 +196,18 @@ func (k *Kernel) Run(until Time) Time {
 // Ticker repeatedly schedules fn every period cycles at the given priority,
 // starting at start. fn returning false stops the ticker. One Event object
 // is reused for every firing, so a per-cycle ticker costs no allocation
-// after setup.
-func (k *Kernel) Ticker(start Time, period Time, pri Priority, fn func(now Time) bool) {
+// after setup. The returned Event supports Cancel and, from inside fn,
+// SkipTo.
+func (k *Kernel) Ticker(start Time, period Time, pri Priority, fn func(now Time) bool) *Event {
 	if period <= 0 {
 		panic("sim: non-positive ticker period")
 	}
 	if start < k.now {
 		panic("sim: scheduling event in the past")
 	}
-	e := &Event{at: start, pri: pri, seq: k.seq, tick: fn, every: period}
+	e := &Event{at: start, pri: pri, seq: k.seq, tick: fn, every: period, k: k}
 	k.seq++
+	k.live++
 	heap.Push(&k.heap, e)
+	return e
 }

@@ -191,8 +191,7 @@ func (a *Adapter) SendUnicast(dst, msgLen int, now int64) uint64 {
 		PktID: a.fab.NextPktID(), MsgID: msgID, Gen: now,
 	}
 	a.fab.Tracker.Register(msgID, network.ClassUnicast, a.Node, now, 1)
-	q := &a.Queues[0]
-	q.PushBack(q.NewPacket(h, msgLen))
+	a.Enqueue(0, h, msgLen)
 	return msgID
 }
 
@@ -209,8 +208,7 @@ func (a *Adapter) SendBroadcast(msgLen int, now int64) uint64 {
 			Remain: len(c.Nodes) - 1, ChainCCW: c.Dir == topology.CCW,
 			PktID: a.fab.NextPktID(), MsgID: msgID, Gen: now,
 		}
-		q := &a.Queues[0]
-		q.PushBack(q.NewPacket(h, msgLen))
+		a.Enqueue(0, h, msgLen)
 	}
 	return msgID
 }
@@ -231,8 +229,7 @@ func (a *Adapter) onTail(f flit.Flit, now int64) {
 		}
 		// The switch-created packet takes precedence over PE traffic on the
 		// single injection channel.
-		q := &a.Queues[0]
-		q.PushFront(q.NewPacket(h, f.PktLen))
+		a.EnqueueFront(0, h, f.PktLen)
 	}
 }
 
