@@ -18,18 +18,25 @@ func TestFabricStepSteadyStateAllocs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Load every node, then warm up until free lists and scratch buffers
-	// reach their steady-state capacity.
+	// Load every node with all three traffic classes, then warm up until
+	// free lists and scratch buffers reach their steady-state capacity.
+	mcastTargets := []int{5, 19, 33, 47} // reused: the send path must not need a fresh slice
 	for i, nd := range nodes {
 		nd.SendUnicast((i+7)%64, 16, 0)
 		if i%8 == 0 {
 			nd.SendBroadcast(16, 0)
+		}
+		if i%16 == 1 {
+			nd.SendMulticast(mcastTargets, 16, 0)
 		}
 	}
 	refill := func() {
 		if fab.Tracker.InFlight() < 16 {
 			for j, nd := range nodes {
 				nd.SendUnicast((j+9)%64, 16, fab.Now())
+				if j%16 == 2 {
+					nd.SendMulticast(mcastTargets, 16, fab.Now())
+				}
 			}
 		}
 	}

@@ -9,6 +9,7 @@
 //	quarcbench -experiment all
 //	quarcbench -experiment fig9 -fast
 //	quarcbench -experiment fig10 -replicates 5 -workers 8
+//	quarcbench -experiment fig9 -models quarc,spidergon,ring -mcast-frac 0.1 -mcast-size 4
 //	quarcbench -experiment cost
 package main
 
@@ -18,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"quarc/internal/experiments"
@@ -41,6 +43,13 @@ func main() {
 			"unicast pattern for the fig9/fig10/fig11 panel sweeps: uniform, hotspot, antipodal, neighbor, bitreverse")
 		hotspotBias = flag.Float64("hotspot-bias", 0,
 			"probability a hotspot-pattern unicast targets node 0")
+		modelsFlag = flag.String("models", "",
+			"comma-separated registry model names the fig9/fig10/fig11 panels sweep "+
+				"(default: the paper's quarc,spidergon pair; see -list-models)")
+		mcastFrac = flag.Float64("mcast-frac", 0,
+			"fraction of non-broadcast messages sent as k-target multicasts in the panel sweeps")
+		mcastSize = flag.Int("mcast-size", 0,
+			"targets per multicast, 2..N-1 (required with -mcast-frac)")
 		listModels = flag.Bool("list-models", false, "list the registered network models and exit")
 	)
 	flag.Parse()
@@ -59,6 +68,28 @@ func main() {
 	}
 	if *hotspotBias < 0 || *hotspotBias > 1 {
 		fmt.Fprintf(os.Stderr, "quarcbench: -hotspot-bias %v outside [0,1]\n", *hotspotBias)
+		os.Exit(2)
+	}
+	var panelModels []string
+	if *modelsFlag != "" {
+		for _, m := range strings.Split(*modelsFlag, ",") {
+			m = strings.TrimSpace(m)
+			if m == "" {
+				// ParseModel maps "" to the default model; a stray comma must
+				// not silently add a quarc curve the user never asked for.
+				fmt.Fprintf(os.Stderr, "quarcbench: -models: empty model name in %q\n", *modelsFlag)
+				os.Exit(2)
+			}
+			name, err := service.ParseModel(m)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "quarcbench: -models: %v\n", err)
+				os.Exit(2)
+			}
+			panelModels = append(panelModels, name)
+		}
+	}
+	if *mcastFrac < 0 || *mcastFrac > 1 {
+		fmt.Fprintf(os.Stderr, "quarcbench: -mcast-frac %v outside [0,1]\n", *mcastFrac)
 		os.Exit(2)
 	}
 	if *jsonOut {
@@ -97,6 +128,8 @@ func main() {
 	runPanels := func(name string, panels []experiments.PanelSpec) {
 		for pi, spec := range panels {
 			spec.Pattern, spec.HotspotBias = pat, *hotspotBias
+			spec.Models = panelModels
+			spec.McastFrac, spec.McastSize = *mcastFrac, *mcastSize
 			start := time.Now()
 			pr, err := runPanel(spec, opts)
 			if err != nil {

@@ -9,6 +9,7 @@
 //
 //	quarcload -addr http://127.0.0.1:8080 -n 200 -c 8
 //	quarcload -addr http://127.0.0.1:8080 -n 50 -c 4 -cached 0
+//	quarcload -addr http://127.0.0.1:8080 -model ring -n 100
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,16 +32,18 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "http://127.0.0.1:8080", "quarcd base URL")
-		total    = flag.Int("n", 200, "total requests")
-		conc     = flag.Int("c", 8, "concurrent clients")
-		cached   = flag.Float64("cached", 0.5, "fraction of requests drawn from the hot-seed pool (cacheable)")
-		hotSeeds = flag.Int("hot-seeds", 4, "distinct seeds in the hot pool")
-		nodes    = flag.Int("nodes", 8, "nodes per simulated network")
-		rate     = flag.Float64("rate", 0.005, "offered load per request")
-		measure  = flag.Int64("measure", 1000, "measured cycles per request")
-		timeout  = flag.Duration("timeout", 60*time.Second, "per-request timeout")
-		ready    = flag.Duration("ready-timeout", 10*time.Second, "how long to wait for the daemon to answer /healthz")
+		addr      = flag.String("addr", "http://127.0.0.1:8080", "quarcd base URL")
+		total     = flag.Int("n", 200, "total requests")
+		conc      = flag.Int("c", 8, "concurrent clients")
+		cached    = flag.Float64("cached", 0.5, "fraction of requests drawn from the hot-seed pool (cacheable)")
+		hotSeeds  = flag.Int("hot-seeds", 4, "distinct seeds in the hot pool")
+		modelName = flag.String("model", "quarc",
+			"network model submitted by every request (validated against the daemon's GET /v1/models)")
+		nodes   = flag.Int("nodes", 8, "nodes per simulated network")
+		rate    = flag.Float64("rate", 0.005, "offered load per request")
+		measure = flag.Int64("measure", 1000, "measured cycles per request")
+		timeout = flag.Duration("timeout", 60*time.Second, "per-request timeout")
+		ready   = flag.Duration("ready-timeout", 10*time.Second, "how long to wait for the daemon to answer /healthz")
 	)
 	flag.Parse()
 	if *total < 1 || *conc < 1 || *hotSeeds < 1 {
@@ -51,6 +55,10 @@ func main() {
 	if err := waitReady(client, *addr, *ready); err != nil {
 		fmt.Fprintf(os.Stderr, "quarcload: daemon not ready: %v\n", err)
 		os.Exit(1)
+	}
+	if err := checkModel(client, *addr, *modelName); err != nil {
+		fmt.Fprintf(os.Stderr, "quarcload: %v\n", err)
+		os.Exit(2)
 	}
 
 	type sample struct {
@@ -72,7 +80,7 @@ func main() {
 					return
 				}
 				req := service.RunRequest{
-					Topo: "quarc", N: *nodes, MsgLen: 4, Beta: 0.05, Rate: *rate,
+					Topo: *modelName, N: *nodes, MsgLen: 4, Beta: 0.05, Rate: *rate,
 					Warmup: 200, Measure: *measure, Drain: 5000,
 				}
 				// Deterministic, evenly interleaved hot/cold split: request i
@@ -113,9 +121,12 @@ func main() {
 	}
 	sort.Float64s(lats)
 
-	fmt.Printf("requests        %d (%d clients, closed loop)\n", *total, *conc)
+	fmt.Printf("requests        %d (%d clients, closed loop, model %s)\n", *total, *conc, *modelName)
 	fmt.Printf("elapsed         %.2fs\n", elapsed.Seconds())
-	fmt.Printf("throughput      %.1f req/s\n", float64(*total)/elapsed.Seconds())
+	// Throughput counts completed requests only: failed requests did no
+	// useful work, and counting them would inflate the figure exactly when
+	// the daemon is struggling.
+	fmt.Printf("throughput      %.1f req/s\n", float64(ok)/elapsed.Seconds())
 	fmt.Printf("success rate    %.2f%% (%d/%d)\n", 100*float64(ok)/float64(*total), ok, *total)
 	fmt.Printf("cached          %.2f%% of successes (%d)\n", pct(hits, ok), hits)
 	if len(lats) > 0 {
@@ -157,6 +168,32 @@ func waitReady(client *http.Client, addr string, budget time.Duration) error {
 		time.Sleep(100 * time.Millisecond)
 	}
 	return lastErr
+}
+
+// checkModel validates the requested model against the daemon's registry
+// (GET /v1/models), so a typo fails fast with the available names instead of
+// as -n failed submissions.
+func checkModel(client *http.Client, addr, name string) error {
+	resp, err := client.Get(addr + "/v1/models")
+	if err != nil {
+		return fmt.Errorf("list models: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("list models: %s", resp.Status)
+	}
+	var models []service.ModelJSON
+	if err := json.NewDecoder(resp.Body).Decode(&models); err != nil {
+		return fmt.Errorf("decode models: %w", err)
+	}
+	var names []string
+	for _, m := range models {
+		if m.Name == name {
+			return nil
+		}
+		names = append(names, m.Name)
+	}
+	return fmt.Errorf("unknown model %q (daemon offers: %s)", name, strings.Join(names, ", "))
 }
 
 // post submits one run with ?wait=1 and reports whether it was served from

@@ -29,6 +29,8 @@ func main() {
 		hotspotBias = flag.Float64("hotspot-bias", 0, "probability a hotspot-pattern unicast targets node 0")
 		burstOn     = flag.Float64("burst-on", 0, "bursty traffic: mean burst length in cycles (use with -burst-off; -rate stays the mean load)")
 		burstOff    = flag.Float64("burst-off", 0, "bursty traffic: mean silence length in cycles")
+		mcastFrac   = flag.Float64("mcast-frac", 0, "fraction of non-broadcast messages sent as k-target multicasts (use with -mcast-size)")
+		mcastSize   = flag.Int("mcast-size", 0, "targets per multicast, 2..N-1")
 		warmup      = flag.Int64("warmup", 3000, "warmup cycles (not measured)")
 		cycles      = flag.Int64("cycles", 12000, "measured cycles")
 		drain       = flag.Int64("drain", 40000, "max drain cycles after generation stops")
@@ -70,7 +72,8 @@ func main() {
 	res, reps, err := quarc.RunReplicated(quarc.Config{
 		Model: model, N: *n, MsgLen: *m, Beta: *beta, Rate: *rate,
 		Pattern: pat, HotspotBias: *hotspotBias,
-		BurstMeanOn: *burstOn, BurstMeanOff: *burstOff, Depth: *depth,
+		BurstMeanOn: *burstOn, BurstMeanOff: *burstOff,
+		McastFrac: *mcastFrac, McastSize: *mcastSize, Depth: *depth,
 		Warmup: *warmup, Measure: *cycles, Drain: *drain, Seed: *seed,
 	}, *replicates, *workers)
 	if err != nil {
@@ -96,6 +99,10 @@ func main() {
 	fmt.Printf("message length  %d flits\n", *m)
 	if *burstOn > 0 {
 		fmt.Printf("bursty source   on %.0f / off %.0f cycles (mean load unchanged)\n", *burstOn, *burstOff)
+	}
+	if *mcastFrac > 0 {
+		fmt.Printf("multicast       %.0f%% of non-broadcast messages to %d targets (%d completed)\n",
+			*mcastFrac*100, *mcastSize, res.McastCount)
 	}
 	if len(reps) > 1 {
 		fmt.Printf("replicates      %d (latencies are means ± 95%% CI across replicates)\n", len(reps))

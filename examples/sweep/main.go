@@ -54,11 +54,12 @@ func main() {
 	fmt.Printf("(swept in %.1fs)\n", time.Since(start).Seconds())
 
 	// Quantify the headline ratios at the lowest (stable) load point.
-	qUni, sUni := pr.QuarcUni.Y[0], pr.SpiderUni.Y[0]
-	qBc, sBc := pr.QuarcBc.Y[0], pr.SpiderBc.Y[0]
+	quarcUni, spiderUni := pr.UnicastSeries("quarc"), pr.UnicastSeries("spidergon")
+	qUni, sUni := quarcUni.Y[0], spiderUni.Y[0]
+	qBc, sBc := pr.CollectiveSeries("quarc").Y[0], pr.CollectiveSeries("spidergon").Y[0]
 	fmt.Printf("at load %.5f: unicast %.1f vs %.1f cycles (%.1fx), "+
 		"broadcast %.1f vs %.1f cycles (%.1fx)\n",
 		pr.RatesSwept[0], qUni, sUni, sUni/qUni, qBc, sBc, sBc/qBc)
 	fmt.Printf("saturation: quarc at %.4f, spidergon at %.4f msgs/node/cycle\n",
-		pr.QuarcUni.SaturationPoint(), pr.SpiderUni.SaturationPoint())
+		quarcUni.SaturationPoint(), spiderUni.SaturationPoint())
 }

@@ -64,11 +64,14 @@ func activityWorkloads(rate float64) map[string]Config {
 	hotspot.HotspotBias = 0.4
 	bursty := base
 	bursty.BurstMeanOn, bursty.BurstMeanOff = 30, 90
+	mcast := base
+	mcast.McastFrac, mcast.McastSize = 0.3, 3
 	return map[string]Config{
 		"unicast":   unicast,
 		"broadcast": bcast,
 		"hotspot":   hotspot,
 		"bursty":    bursty,
+		"multicast": mcast,
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"quarc/internal/model"
+	"quarc/internal/network"
 	"quarc/internal/sim"
 	"quarc/internal/traffic"
 )
@@ -23,10 +24,17 @@ func TestMessageConservationAcrossModels(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
 			cfg := Config{Model: name, N: m.ExampleN, MsgLen: 4, Beta: 0.1, Rate: 0.008,
+				McastFrac: 0.15, McastSize: 3,
 				Depth: 4, Warmup: 200, Measure: 1500, Drain: 20000, Seed: 11}
 			fab, nodes, err := build(cfg)
 			if err != nil {
 				t.Fatal(err)
+			}
+			var mcasts int
+			fab.Tracker.OnDone = func(r network.MessageRecord) {
+				if r.Class == network.ClassMulticast {
+					mcasts++
+				}
 			}
 			horizon := cfg.Warmup + cfg.Measure
 
@@ -37,6 +45,7 @@ func TestMessageConservationAcrossModels(t *testing.T) {
 			}
 			sources, err := traffic.Install(&k, traffic.Config{
 				N: cfg.N, Rate: cfg.Rate, Beta: cfg.Beta, MsgLen: cfg.MsgLen,
+				McastFrac: cfg.McastFrac, McastSize: cfg.McastSize,
 				Seed: cfg.Seed, Until: horizon,
 			}, senders)
 			if err != nil {
@@ -73,6 +82,9 @@ func TestMessageConservationAcrossModels(t *testing.T) {
 			}
 			if sent := traffic.TotalSent(sources); sent == 0 {
 				t.Error("workload generated no messages; the property is vacuous")
+			}
+			if mcasts == 0 {
+				t.Error("workload completed no multicasts; the multicast leg is vacuous")
 			}
 		})
 	}

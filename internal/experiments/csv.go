@@ -8,8 +8,8 @@ import (
 )
 
 // WriteCSV emits a panel's sweep as machine-readable CSV with one row per
-// (rate, architecture) pair, suitable for replotting the paper's figures
-// with external tools.
+// (rate, model) pair, suitable for replotting the paper's figures with
+// external tools. The topology column carries the registry model name.
 func (pr PanelResult) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	header := []string{"figure", "panel", "n", "msglen", "beta", "topology", "rate",
@@ -20,17 +20,17 @@ func (pr PanelResult) WriteCSV(w io.Writer) error {
 		return err
 	}
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
-	for _, topo := range []Topology{TopoQuarc, TopoSpidergon} {
-		results := pr.Results[topo]
+	for _, name := range pr.Models {
+		results := pr.Results[name]
 		for i, rate := range pr.RatesSwept {
 			if i >= len(results) {
-				return fmt.Errorf("experiments: incomplete sweep for %v", topo)
+				return fmt.Errorf("experiments: incomplete sweep for %s", name)
 			}
 			r := results[i]
 			row := []string{
 				pr.Spec.Figure, pr.Spec.Name,
 				strconv.Itoa(pr.Spec.N), strconv.Itoa(pr.Spec.MsgLen), f(pr.Spec.Beta),
-				topo.String(), f(rate),
+				name, f(rate),
 				f(r.UnicastMean), f(r.UnicastCI), strconv.FormatInt(r.UnicastCount, 10),
 				f(r.BcastMean), f(r.BcastCI), strconv.FormatInt(r.BcastCount, 10),
 				f(r.Throughput), strconv.FormatBool(r.Saturated),

@@ -112,6 +112,15 @@ type Config struct {
 	// pattern only.
 	BurstMeanOn  float64 `json:",omitempty"`
 	BurstMeanOff float64 `json:",omitempty"`
+	// McastFrac sends that fraction of the non-broadcast messages as
+	// McastSize-target multicasts (distinct uniform targets). The Quarc
+	// routes them natively along BRCP branches; the other models emulate
+	// them by unicast fan-out — the paper's core comparison as a sweep
+	// axis. Both knobs must be set together; both sources honour them.
+	// omitempty keeps the canonical cache keys of multicast-free requests
+	// exactly what they were before the knobs existed.
+	McastFrac float64 `json:",omitempty"`
+	McastSize int     `json:",omitempty"`
 
 	// denseStep forces the reference dense behaviour: every router stepped
 	// every cycle and no idle-cycle skipping. The activity-equivalence suite
@@ -160,6 +169,14 @@ func (c Config) ValidateWorkload() error {
 			return fmt.Errorf("experiments: bursty on-rate %.4f exceeds 1 msg/node/cycle "+
 				"(rate too high for this on/off duty cycle)", on)
 		}
+	}
+	switch {
+	case c.McastFrac < 0 || c.McastFrac > 1:
+		return fmt.Errorf("experiments: multicast fraction %v outside [0,1]", c.McastFrac)
+	case c.McastFrac == 0 && c.McastSize != 0:
+		return fmt.Errorf("experiments: multicast size %d without a multicast fraction", c.McastSize)
+	case c.McastFrac > 0 && (c.McastSize < 2 || c.McastSize > c.N-1):
+		return fmt.Errorf("experiments: multicast size %d outside [2,%d]", c.McastSize, c.N-1)
 	}
 	return nil
 }
@@ -217,11 +234,15 @@ type Result struct {
 	BcastP99      float64
 	BcastDelivery float64 // mean per-destination delivery latency
 	BcastCount    int64
-	Throughput    float64 // delivered flits/node/cycle in the window
-	Saturated     bool
-	Leftover      int // messages still in flight after the drain budget
-	Duplicates    uint64
-	Cycles        int64 // fabric cycles actually stepped (warmup+measure+drain used)
+	// McastCount is the subset of BcastCount that were multicasts (the
+	// collective accumulators fold broadcast and multicast completions
+	// together; this exposes the split).
+	McastCount int64
+	Throughput float64 // delivered flits/node/cycle in the window
+	Saturated  bool
+	Leftover   int // messages still in flight after the drain budget
+	Duplicates uint64
+	Cycles     int64 // fabric cycles actually stepped (warmup+measure+drain used)
 }
 
 // node is the adapter surface the harness needs.
@@ -274,6 +295,7 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	}
 
 	var uni, bc, bcDeliv stats.Accumulator
+	var mcastCount int64
 	nb := cfg.Measure + cfg.Drain + 2
 	if nb > maxQuantileBuckets {
 		nb = maxQuantileBuckets
@@ -293,6 +315,9 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 			bc.Add(float64(r.Last - r.Gen))
 			bcHist.Add(float64(r.Last - r.Gen))
 			bcDeliv.Add(float64(r.DeliSum)/float64(r.Delivered) - float64(r.Gen))
+			if r.Class == network.ClassMulticast {
+				mcastCount++
+			}
 		}
 	}
 
@@ -306,12 +331,14 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 			N: cfg.N, OnRate: cfg.burstOnRate(),
 			MeanOn: cfg.BurstMeanOn, MeanOff: cfg.BurstMeanOff,
 			Beta: cfg.Beta, MsgLen: cfg.MsgLen,
+			McastFrac: cfg.McastFrac, McastSize: cfg.McastSize,
 			Seed: cfg.Seed, Until: measureEnd,
 		}, senders)
 	} else {
 		_, err = traffic.Install(&k, traffic.Config{
 			N: cfg.N, Rate: cfg.Rate, Beta: cfg.Beta, MsgLen: cfg.MsgLen,
 			Pattern: cfg.Pattern, HotspotBias: cfg.HotspotBias,
+			McastFrac: cfg.McastFrac, McastSize: cfg.McastSize,
 			Seed: cfg.Seed, Until: measureEnd,
 		}, senders)
 	}
@@ -437,6 +464,7 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 		BcastP99:      quant(bcHist, &bc, 0.99),
 		BcastDelivery: bcDeliv.Mean(),
 		BcastCount:    bc.Count(),
+		McastCount:    mcastCount,
 		Throughput:    float64(deliveredAtEnd-deliveredAtWarmup) / float64(cfg.N) / float64(cfg.Measure),
 		Leftover:      fab.Tracker.InFlight(),
 		Duplicates:    fab.Tracker.Duplicates(),

@@ -125,10 +125,10 @@ func TestRunPanelProducesSeries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(pr.QuarcUni.X) != 2 || len(pr.SpiderUni.X) != 2 {
+	if len(pr.UnicastSeries("quarc").X) != 2 || len(pr.UnicastSeries("spidergon").X) != 2 {
 		t.Fatal("unicast series incomplete")
 	}
-	if len(pr.QuarcBc.X) != 2 || len(pr.SpiderBc.X) != 2 {
+	if len(pr.CollectiveSeries("quarc").X) != 2 || len(pr.CollectiveSeries("spidergon").X) != 2 {
 		t.Fatal("broadcast series incomplete")
 	}
 	out := pr.Render()

@@ -21,11 +21,48 @@ type PanelSpec struct {
 	Rates  []float64 // offered loads; if nil, a grid is derived from the
 	// analytic channel-capacity bound
 
+	// Models lists the registry names of the architectures to sweep, in
+	// curve order. Empty means the paper's fixed quarc/spidergon pair —
+	// with the exact canonical cache keys and bit-identical results such
+	// panels had before the field existed.
+	Models []string
+
 	// Pattern and HotspotBias shape the unicast traffic of every point in
 	// the sweep; the zero values are the paper's uniform workload.
 	Pattern     traffic.Pattern
 	HotspotBias float64
+
+	// McastFrac/McastSize send that fraction of non-broadcast messages as
+	// k-target multicasts at every point (see Config).
+	McastFrac float64
+	McastSize int
 }
+
+// SweptModels returns the canonical (lower-case) model list this panel
+// sweeps: the Models field, or the legacy quarc/spidergon pair when empty.
+// Duplicate names collapse onto their first occurrence — results are keyed
+// by model name, so a repeated entry could only corrupt the panel layout,
+// never add information.
+func (spec PanelSpec) SweptModels() []string {
+	if len(spec.Models) == 0 {
+		return legacyPanelModels
+	}
+	out := make([]string, 0, len(spec.Models))
+	seen := make(map[string]bool, len(spec.Models))
+	for _, m := range spec.Models {
+		name := strings.ToLower(m)
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// Collectives reports whether the panel's workload generates collective
+// (broadcast or multicast) traffic, i.e. whether collective latency curves
+// exist to plot.
+func (spec PanelSpec) Collectives() bool { return spec.Beta > 0 || spec.McastFrac > 0 }
 
 // RunOpts scales the simulation effort and the sweep execution.
 type RunOpts struct {
@@ -115,30 +152,91 @@ func Fig11Panels() []PanelSpec {
 	return out
 }
 
-// PanelResult is the measured panel: four curves as in the paper's figures
-// (unicast and broadcast latency for Quarc and Spidergon). Results holds the
-// replicate-aggregated measurement per swept rate; Raw keeps the individual
-// replicate results ([rate index][replicate]). RunPanel and RunPanelSerial
-// in sweep.go produce it.
+// PanelResult is the measured panel: one unicast (and, with collective
+// traffic, one collective-completion) latency curve per swept model, keyed
+// by canonical model name. Results holds the replicate-aggregated
+// measurement per swept rate; Raw keeps the individual replicate results
+// ([rate index][replicate]). RunPanel and RunPanelSerial in sweep.go produce
+// it.
 type PanelResult struct {
 	Spec       PanelSpec
-	QuarcUni   stats.Series
-	QuarcBc    stats.Series
-	SpiderUni  stats.Series
-	SpiderBc   stats.Series
-	Results    map[Topology][]Result
-	Raw        map[Topology][][]Result
+	Models     []string // canonical model names, in sweep (and curve) order
+	Results    map[string][]Result
+	Raw        map[string][][]Result
 	RatesSwept []float64
 	Replicates int
 }
 
-// Render formats the panel as the paper-style rows plus an ASCII chart.
+// UnicastSeries returns the mean unicast latency curve of one swept model.
+func (pr PanelResult) UnicastSeries(model string) stats.Series {
+	return pr.series(model, " unicast", func(r Result) float64 { return r.UnicastMean })
+}
+
+// CollectiveSeries returns the collective (broadcast/multicast) completion
+// latency curve of one swept model.
+func (pr PanelResult) CollectiveSeries(model string) stats.Series {
+	return pr.series(model, " broadcast", func(r Result) float64 { return r.BcastMean })
+}
+
+func (pr PanelResult) series(model, suffix string, get func(Result) float64) stats.Series {
+	s := stats.Series{Name: model + suffix}
+	for i, r := range pr.Results[model] {
+		s.Append(pr.RatesSwept[i], get(r), r.Saturated)
+	}
+	return s
+}
+
+// curveMarkers assigns each model a distinct single-character marker (its
+// unicast curve; the upper-case form marks the collective curve). It prefers
+// the first letter not already taken, falling back to digits.
+func curveMarkers(models []string) []byte {
+	marks := make([]byte, len(models))
+	taken := map[byte]bool{}
+	for i, m := range models {
+		var mark byte
+		for j := 0; j < len(m); j++ {
+			c := m[j]
+			if c >= 'a' && c <= 'z' && !taken[c] {
+				mark = c
+				break
+			}
+		}
+		for d := byte('0'); mark == 0 && d <= '9'; d++ {
+			if !taken[d] {
+				mark = d
+			}
+		}
+		if mark == 0 {
+			mark = '*'
+		}
+		taken[mark] = true
+		marks[i] = mark
+	}
+	return marks
+}
+
+// collectiveMarker is the marker of a model's collective curve: the
+// upper-case twin of its unicast marker when that is a letter.
+func collectiveMarker(mark byte) byte {
+	if mark >= 'a' && mark <= 'z' {
+		return mark &^ 0x20
+	}
+	return mark
+}
+
+// Render formats the panel as the paper-style rows plus an ASCII chart, one
+// latency curve (with CI whiskers under replication) per swept model.
 func (pr PanelResult) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "== %s: %s ==\n", pr.Spec.Figure, pr.Spec.Name)
-	header := []string{"rate", "quarc uni", "quarc bc", "spider uni", "spider bc", "q sat", "s sat"}
+	header := []string{"rate"}
+	for _, m := range pr.Models {
+		header = append(header, m+" uni", m+" bc")
+	}
+	for _, m := range pr.Models {
+		header = append(header, m+" sat")
+	}
 	var rows [][]string
-	qs, ss := pr.Results[TopoQuarc], pr.Results[TopoSpidergon]
 	for i, rate := range pr.RatesSwept {
 		row := []string{fmt.Sprintf("%.5f", rate)}
 		cell := func(v, ci float64, n int64) string {
@@ -153,14 +251,15 @@ func (pr PanelResult) Render() string {
 			}
 			return fmt.Sprintf("%.1f", v)
 		}
-		row = append(row,
-			cell(qs[i].UnicastMean, qs[i].UnicastCI, qs[i].UnicastCount),
-			cell(qs[i].BcastMean, qs[i].BcastCI, qs[i].BcastCount),
-			cell(ss[i].UnicastMean, ss[i].UnicastCI, ss[i].UnicastCount),
-			cell(ss[i].BcastMean, ss[i].BcastCI, ss[i].BcastCount),
-			fmt.Sprintf("%v", qs[i].Saturated),
-			fmt.Sprintf("%v", ss[i].Saturated),
-		)
+		for _, m := range pr.Models {
+			r := pr.Results[m][i]
+			row = append(row,
+				cell(r.UnicastMean, r.UnicastCI, r.UnicastCount),
+				cell(r.BcastMean, r.BcastCI, r.BcastCount))
+		}
+		for _, m := range pr.Models {
+			row = append(row, fmt.Sprintf("%v", pr.Results[m][i].Saturated))
+		}
 		rows = append(rows, row)
 	}
 	b.WriteString(plot.Table(header, rows))
@@ -179,15 +278,20 @@ func (pr PanelResult) Render() string {
 		}
 		return out
 	}
-	curves := []plot.Curve{
-		{Name: pr.QuarcUni.Name, X: pr.QuarcUni.X, Y: pr.QuarcUni.Y, Err: ciOf(qs, false), Marker: 'q'},
-		{Name: pr.SpiderUni.Name, X: pr.SpiderUni.X, Y: pr.SpiderUni.Y, Err: ciOf(ss, false), Marker: 's'},
+	marks := curveMarkers(pr.Models)
+	var curves []plot.Curve
+	for i, m := range pr.Models {
+		s := pr.UnicastSeries(m)
+		curves = append(curves, plot.Curve{
+			Name: s.Name, X: s.X, Y: s.Y, Err: ciOf(pr.Results[m], false), Marker: marks[i]})
 	}
-	if pr.Spec.Beta > 0 {
-		curves = append(curves,
-			plot.Curve{Name: pr.QuarcBc.Name, X: pr.QuarcBc.X, Y: pr.QuarcBc.Y, Err: ciOf(qs, true), Marker: 'Q'},
-			plot.Curve{Name: pr.SpiderBc.Name, X: pr.SpiderBc.X, Y: pr.SpiderBc.Y, Err: ciOf(ss, true), Marker: 'S'},
-		)
+	if pr.Spec.Collectives() {
+		for i, m := range pr.Models {
+			s := pr.CollectiveSeries(m)
+			curves = append(curves, plot.Curve{
+				Name: s.Name, X: s.X, Y: s.Y, Err: ciOf(pr.Results[m], true),
+				Marker: collectiveMarker(marks[i])})
+		}
 	}
 	b.WriteString(plot.Chart("latency (cycles) vs offered rate (msgs/node/cycle)", curves, 60, 14))
 	return b.String()

@@ -9,9 +9,10 @@ import (
 
 // registryCfg is the shared invariant-suite configuration for one model:
 // small enough to run for every registered model, live enough to exercise
-// broadcasts and contention.
+// broadcasts, multicasts and contention.
 func registryCfg(name string, exampleN int) Config {
 	return Config{Model: name, N: exampleN, MsgLen: 8, Beta: 0.05, Rate: 0.006,
+		McastFrac: 0.1, McastSize: 3,
 		Depth: 4, Warmup: 200, Measure: 1200, Drain: 20000, Seed: 77}
 }
 
@@ -57,6 +58,9 @@ func TestRegistryModelsDeterministic(t *testing.T) {
 			}
 			if once.UnicastCount == 0 {
 				t.Error("no unicast samples; the determinism check is vacuous")
+			}
+			if once.McastCount == 0 {
+				t.Error("no multicast samples; the multicast leg of the check is vacuous")
 			}
 		})
 	}

@@ -12,6 +12,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -24,22 +25,25 @@ import (
 // to RunOpts.OnPointDone as each point finishes, so long sweeps can stream
 // progress (the quarcd daemon turns these into NDJSON events).
 type PointDone struct {
-	Index     int // position in the sweep's deterministic point order
-	Total     int // total points in the sweep
-	Topo      Topology
+	Index int // position in the sweep's deterministic point order
+	Total int // total points in the sweep
+	// Model is the canonical registry name of the simulated model — for
+	// every model, not just the six with a legacy Topology member.
+	Model     string
 	RateIndex int
 	Replicate int
 	Rate      float64
 	Result    Result
 }
 
-// panelTopologies is the architecture pair swept by every figure panel.
-var panelTopologies = []Topology{TopoQuarc, TopoSpidergon}
+// legacyPanelModels is the architecture pair a panel sweeps when
+// PanelSpec.Models is empty — the paper's fixed quarc/spidergon comparison.
+var legacyPanelModels = []string{"quarc", "spidergon"}
 
 // sweepPoint is one independent design point of a sweep.
 type sweepPoint struct {
 	Cfg       Config
-	Topo      Topology
+	Model     string // canonical registry name
 	RateIndex int
 	Replicate int
 }
@@ -51,6 +55,25 @@ type sweepPoint struct {
 // simulate exactly the same systems.
 func PointSeed(base uint64, topo Topology, rateIndex, replicate int) uint64 {
 	return rng.Derive(base, uint64(topo), uint64(rateIndex), uint64(replicate))
+}
+
+// PointSeedNamed is PointSeed for registry-only models: the model's registry
+// name is folded in by FNV-1a instead of the enum value. The six original
+// models keep the enum derivation, so legacy sweeps simulate bit-identical
+// systems; pointSeedFor routes between the two.
+func PointSeedNamed(base uint64, model string, rateIndex, replicate int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(model))
+	return rng.Derive(base, h.Sum64(), uint64(rateIndex), uint64(replicate))
+}
+
+// pointSeedFor derives the seed of a design point from its canonical model
+// name: enum-based for the original six, name-keyed for registry-only models.
+func pointSeedFor(base uint64, model string, rateIndex, replicate int) uint64 {
+	if t, ok := TopologyByName(model); ok {
+		return PointSeed(base, t, rateIndex, replicate)
+	}
+	return PointSeedNamed(base, model, rateIndex, replicate)
 }
 
 // normalized fills the sweep-level defaults.
@@ -118,32 +141,43 @@ func pointNotifier(onDone func(PointDone), points []sweepPoint) func(int, Result
 		p := points[i]
 		onDone(PointDone{
 			Index: i, Total: total,
-			Topo: p.Topo, RateIndex: p.RateIndex, Replicate: p.Replicate,
+			Model: p.Model, RateIndex: p.RateIndex, Replicate: p.Replicate,
 			Rate: p.Cfg.Rate, Result: res,
 		})
 	}
 }
 
-// panelPoints expands a panel spec into its design points, ordered topology-
+// panelPoints expands a panel spec into its design points, ordered model-
 // major, then rate, then replicate. assemblePanel relies on this layout.
 func panelPoints(spec PanelSpec, opts RunOpts) ([]sweepPoint, []float64) {
 	rates := spec.Rates
 	if rates == nil {
 		rates = rateGrid(spec, opts.Points)
 	}
-	points := make([]sweepPoint, 0, len(panelTopologies)*len(rates)*opts.Replicates)
-	for _, topo := range panelTopologies {
+	models := spec.SweptModels()
+	points := make([]sweepPoint, 0, len(models)*len(rates)*opts.Replicates)
+	for _, name := range models {
+		base := Config{
+			N: spec.N, MsgLen: spec.MsgLen, Beta: spec.Beta,
+			Pattern: spec.Pattern, HotspotBias: spec.HotspotBias,
+			McastFrac: spec.McastFrac, McastSize: spec.McastSize,
+			Depth:  opts.Depth,
+			Warmup: opts.Warmup, Measure: opts.Measure, Drain: opts.Drain,
+		}
+		// Legacy models select through the enum (keeping their pre-registry
+		// configs, seeds and cache keys); registry-only models by name.
+		if t, ok := TopologyByName(name); ok {
+			base.Topo = t
+		} else {
+			base.Model = name
+		}
 		for ri, rate := range rates {
 			for rep := 0; rep < opts.Replicates; rep++ {
+				cfg := base
+				cfg.Rate = rate
+				cfg.Seed = pointSeedFor(opts.Seed, name, ri, rep)
 				points = append(points, sweepPoint{
-					Topo: topo, RateIndex: ri, Replicate: rep,
-					Cfg: Config{
-						Topo: topo, N: spec.N, MsgLen: spec.MsgLen, Beta: spec.Beta,
-						Rate: rate, Pattern: spec.Pattern, HotspotBias: spec.HotspotBias,
-						Depth:  opts.Depth,
-						Warmup: opts.Warmup, Measure: opts.Measure, Drain: opts.Drain,
-						Seed: PointSeed(opts.Seed, topo, ri, rep),
-					},
+					Model: name, RateIndex: ri, Replicate: rep, Cfg: cfg,
 				})
 			}
 		}
@@ -198,11 +232,12 @@ func aggregateReplicates(reps []Result) Result {
 	agg.BcastP99 = avg(hasBc, func(r Result) float64 { return r.BcastP99 })
 	agg.BcastDelivery = avg(hasBc, func(r Result) float64 { return r.BcastDelivery })
 	agg.Throughput = avg(always, func(r Result) float64 { return r.Throughput })
-	agg.UnicastCount, agg.BcastCount = 0, 0
+	agg.UnicastCount, agg.BcastCount, agg.McastCount = 0, 0, 0
 	agg.Leftover, agg.Duplicates, agg.Saturated, agg.Cycles = 0, 0, false, 0
 	for _, r := range reps {
 		agg.UnicastCount += r.UnicastCount
 		agg.BcastCount += r.BcastCount
+		agg.McastCount += r.McastCount
 		agg.Leftover += r.Leftover
 		agg.Duplicates += r.Duplicates
 		agg.Saturated = agg.Saturated || r.Saturated
@@ -213,49 +248,36 @@ func aggregateReplicates(reps []Result) Result {
 
 // assemblePanel groups point results back into the panel structure. The
 // grouping is pure index arithmetic over panelPoints's layout, so it is
-// independent of how the points were executed.
+// independent of how the points were executed — and of the order the models
+// were listed in, since every model's points carry model-keyed seeds.
 func assemblePanel(spec PanelSpec, opts RunOpts, rates []float64, results []Result) PanelResult {
 	pr := PanelResult{
 		Spec:       spec,
+		Models:     spec.SweptModels(),
 		RatesSwept: rates,
-		Results:    map[Topology][]Result{},
-		Raw:        map[Topology][][]Result{},
+		Results:    map[string][]Result{},
+		Raw:        map[string][][]Result{},
 		Replicates: opts.Replicates,
 	}
-	pr.QuarcUni.Name = "quarc unicast"
-	pr.QuarcBc.Name = "quarc broadcast"
-	pr.SpiderUni.Name = "spidergon unicast"
-	pr.SpiderBc.Name = "spidergon broadcast"
-	for ti, topo := range panelTopologies {
-		for ri, rate := range rates {
-			base := (ti*len(rates) + ri) * opts.Replicates
+	for mi, name := range pr.Models {
+		for ri := range rates {
+			base := (mi*len(rates) + ri) * opts.Replicates
 			reps := append([]Result(nil), results[base:base+opts.Replicates]...)
-			pr.Raw[topo] = append(pr.Raw[topo], reps)
+			pr.Raw[name] = append(pr.Raw[name], reps)
 			res := aggregateReplicates(reps)
 			// Aggregated rows echo the sweep-level seed the caller chose;
 			// the per-replicate derived seeds stay visible in Raw.
 			res.Cfg.Seed = opts.Seed
-			pr.Results[topo] = append(pr.Results[topo], res)
-			switch topo {
-			case TopoQuarc:
-				pr.QuarcUni.Append(rate, res.UnicastMean, res.Saturated)
-				if spec.Beta > 0 {
-					pr.QuarcBc.Append(rate, res.BcastMean, res.Saturated)
-				}
-			case TopoSpidergon:
-				pr.SpiderUni.Append(rate, res.UnicastMean, res.Saturated)
-				if spec.Beta > 0 {
-					pr.SpiderBc.Append(rate, res.BcastMean, res.Saturated)
-				}
-			}
+			pr.Results[name] = append(pr.Results[name], res)
 		}
 	}
 	return pr
 }
 
-// RunPanel sweeps one panel for both architectures, fanning the independent
-// (topology, rate, replicate) points across RunOpts.Workers goroutines. For
-// a fixed RunOpts.Seed the result is bit-identical to RunPanelSerial.
+// RunPanel sweeps one panel for every model in PanelSpec.Models (the legacy
+// quarc/spidergon pair when empty), fanning the independent (model, rate,
+// replicate) points across RunOpts.Workers goroutines. For a fixed
+// RunOpts.Seed the result is bit-identical to RunPanelSerial.
 func RunPanel(spec PanelSpec, opts RunOpts) (PanelResult, error) {
 	return RunPanelContext(context.Background(), spec, opts)
 }
@@ -318,10 +340,14 @@ func RunReplicatedContext(ctx context.Context, cfg Config, replicates, workers i
 	if replicates < 1 {
 		replicates = 1
 	}
+	// The canonical model name labels every progress event: deriving it from
+	// cfg.Topo alone would report registry-only models (zero-value enum) as
+	// "quarc".
+	name := cfg.ModelName()
 	if replicates == 1 {
 		res, err := RunContext(ctx, cfg)
 		if err == nil && onDone != nil {
-			onDone(PointDone{Index: 0, Total: 1, Topo: cfg.Topo, Rate: cfg.Rate, Result: res})
+			onDone(PointDone{Index: 0, Total: 1, Model: name, Rate: cfg.Rate, Result: res})
 		}
 		return res, []Result{res}, err
 	}
@@ -331,8 +357,8 @@ func RunReplicatedContext(ctx context.Context, cfg Config, replicates, workers i
 	points := make([]sweepPoint, replicates)
 	for rep := range points {
 		c := cfg
-		c.Seed = PointSeed(cfg.Seed, cfg.Topo, 0, rep)
-		points[rep] = sweepPoint{Cfg: c, Topo: cfg.Topo, Replicate: rep}
+		c.Seed = pointSeedFor(cfg.Seed, name, 0, rep)
+		points[rep] = sweepPoint{Cfg: c, Model: name, Replicate: rep}
 	}
 	results, err := sweepRun(ctx, points, workers, pointNotifier(onDone, points))
 	if err != nil {
@@ -345,6 +371,6 @@ func RunReplicatedContext(ctx context.Context, cfg Config, replicates, workers i
 
 // String renders a sweep point compactly for diagnostics.
 func (p sweepPoint) String() string {
-	return fmt.Sprintf("%v rate[%d]=%.5f rep=%d seed=%#x",
-		p.Topo, p.RateIndex, p.Cfg.Rate, p.Replicate, p.Cfg.Seed)
+	return fmt.Sprintf("%s rate[%d]=%.5f rep=%d seed=%#x",
+		p.Model, p.RateIndex, p.Cfg.Rate, p.Replicate, p.Cfg.Seed)
 }

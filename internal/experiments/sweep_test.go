@@ -172,30 +172,34 @@ func TestRunPanelReplicatesShape(t *testing.T) {
 	if pr.Replicates != 3 {
 		t.Fatalf("Replicates = %d, want 3", pr.Replicates)
 	}
-	for _, topo := range panelTopologies {
-		if len(pr.Raw[topo]) != len(spec.Rates) {
-			t.Fatalf("%v: %d raw rate groups, want %d", topo, len(pr.Raw[topo]), len(spec.Rates))
+	if !reflect.DeepEqual(pr.Models, legacyPanelModels) {
+		t.Fatalf("legacy panel swept %v, want %v", pr.Models, legacyPanelModels)
+	}
+	for _, name := range pr.Models {
+		if len(pr.Raw[name]) != len(spec.Rates) {
+			t.Fatalf("%s: %d raw rate groups, want %d", name, len(pr.Raw[name]), len(spec.Rates))
 		}
-		for ri, reps := range pr.Raw[topo] {
+		for ri, reps := range pr.Raw[name] {
 			if len(reps) != 3 {
-				t.Fatalf("%v rate %d: %d replicates, want 3", topo, ri, len(reps))
+				t.Fatalf("%s rate %d: %d replicates, want 3", name, ri, len(reps))
 			}
 			seeds := map[uint64]bool{}
 			for _, r := range reps {
 				seeds[r.Cfg.Seed] = true
 			}
 			if len(seeds) != 3 {
-				t.Fatalf("%v rate %d: replicates share seeds", topo, ri)
+				t.Fatalf("%s rate %d: replicates share seeds", name, ri)
 			}
-			agg := pr.Results[topo][ri]
+			agg := pr.Results[name][ri]
 			want := aggregateReplicates(reps)
 			want.Cfg.Seed = opts.Seed // panels echo the sweep-level seed
 			if !reflect.DeepEqual(agg, want) {
-				t.Fatalf("%v rate %d: stored aggregate mismatches recomputation", topo, ri)
+				t.Fatalf("%s rate %d: stored aggregate mismatches recomputation", name, ri)
 			}
 		}
 	}
-	if len(pr.QuarcUni.X) != len(spec.Rates) || len(pr.SpiderBc.X) != len(spec.Rates) {
+	if len(pr.UnicastSeries("quarc").X) != len(spec.Rates) ||
+		len(pr.CollectiveSeries("spidergon").X) != len(spec.Rates) {
 		t.Fatal("series incomplete under replication")
 	}
 }

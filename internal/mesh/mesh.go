@@ -245,4 +245,10 @@ func (a *Adapter) SendBroadcast(msgLen int, now int64) uint64 {
 	return msgID
 }
 
+// SendMulticast emits one unicast per distinct remote target (software
+// multicast, like the broadcast).
+func (a *Adapter) SendMulticast(targets []int, msgLen int, now int64) uint64 {
+	return a.SendMulticastFanout(a.fab, 0, targets, msgLen, now)
+}
+
 var _ network.Adapter = (*Adapter)(nil)

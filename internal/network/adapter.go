@@ -267,3 +267,49 @@ func (b *BaseAdapter) Backlog() int {
 	}
 	return total
 }
+
+// CountRemoteTargets returns the number of distinct targets excluding self —
+// the expected delivery count of a multicast. Node ids deduplicate modulo 64,
+// matching the tracker's delivery mask (every model caps N at 64).
+func CountRemoteTargets(targets []int, self int) int {
+	var seen uint64
+	count := 0
+	for _, d := range targets {
+		bit := uint64(1) << uint(d%64)
+		if d == self || seen&bit != 0 {
+			continue
+		}
+		seen |= bit
+		count++
+	}
+	return count
+}
+
+// SendMulticastFanout is the software multicast emulation shared by adapters
+// without hardware collective support: the message registers as
+// ClassMulticast with one expected delivery per distinct remote target, and
+// one independent unicast packet per target is enqueued on source queue qi.
+// Duplicate targets and self are ignored, mirroring the Quarc transceiver's
+// semantics.
+func (b *BaseAdapter) SendMulticastFanout(fab *Fabric, qi int, targets []int, msgLen int, now int64) uint64 {
+	expected := CountRemoteTargets(targets, b.Node)
+	if expected == 0 {
+		panic("network: multicast with no remote targets")
+	}
+	msgID := fab.NextMsgID()
+	fab.Tracker.Register(msgID, ClassMulticast, b.Node, now, expected)
+	var seen uint64
+	for _, d := range targets {
+		bit := uint64(1) << uint(d%64)
+		if d == b.Node || seen&bit != 0 {
+			continue
+		}
+		seen |= bit
+		h := flit.Flit{
+			Traffic: flit.Unicast, Src: b.Node, Dst: d,
+			PktID: fab.NextPktID(), MsgID: msgID, Gen: now,
+		}
+		b.Enqueue(qi, h, msgLen)
+	}
+	return msgID
+}

@@ -203,14 +203,7 @@ func (t *Transceiver) SendMulticast(targets []int, msgLen int, now int64) uint64
 	if len(brs) == 0 {
 		panic("quarc: multicast with no remote targets")
 	}
-	expected := 0
-	seen := make(map[int]bool)
-	for _, d := range targets {
-		if d != t.Node && !seen[d] {
-			seen[d] = true
-			expected++
-		}
-	}
+	expected := network.CountRemoteTargets(targets, t.Node)
 	msgID := t.fab.NextMsgID()
 	t.fab.Tracker.Register(msgID, network.ClassMulticast, t.Node, now, expected)
 	for _, b := range brs {

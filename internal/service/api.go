@@ -133,13 +133,17 @@ type RunRequest struct {
 	// Rate stays the long-run mean offered load.
 	BurstMeanOn  float64 `json:"burst_mean_on,omitempty"`
 	BurstMeanOff float64 `json:"burst_mean_off,omitempty"`
-	Depth        int     `json:"depth,omitempty"`
-	Warmup       int64   `json:"warmup,omitempty"`
-	Measure      int64   `json:"measure,omitempty"`
-	Drain        int64   `json:"drain,omitempty"`
-	Seed         uint64  `json:"seed,omitempty"`
-	Replicates   int     `json:"replicates,omitempty"`
-	Workers      int     `json:"workers,omitempty"`
+	// McastFrac sends that fraction of the non-broadcast messages as
+	// McastSize-target multicasts (both together; see the simulator docs).
+	McastFrac  float64 `json:"mcast_frac,omitempty"`
+	McastSize  int     `json:"mcast_size,omitempty"`
+	Depth      int     `json:"depth,omitempty"`
+	Warmup     int64   `json:"warmup,omitempty"`
+	Measure    int64   `json:"measure,omitempty"`
+	Drain      int64   `json:"drain,omitempty"`
+	Seed       uint64  `json:"seed,omitempty"`
+	Replicates int     `json:"replicates,omitempty"`
+	Workers    int     `json:"workers,omitempty"`
 }
 
 // Config validates the request and converts it to a normalised simulator
@@ -162,7 +166,8 @@ func (r RunRequest) Config() (experiments.Config, error) {
 	cfg := experiments.Config{
 		Model: name, N: r.N, MsgLen: r.MsgLen, Beta: r.Beta, Rate: r.Rate,
 		Pattern: pat, HotspotBias: r.HotspotBias,
-		BurstMeanOn: r.BurstMeanOn, BurstMeanOff: r.BurstMeanOff, Depth: r.Depth,
+		BurstMeanOn: r.BurstMeanOn, BurstMeanOff: r.BurstMeanOff,
+		McastFrac: r.McastFrac, McastSize: r.McastSize, Depth: r.Depth,
 		Warmup: r.Warmup, Measure: r.Measure, Drain: r.Drain, Seed: r.Seed,
 	}.WithDefaults()
 	if err := model.CheckSize(name, cfg.N); err != nil {
@@ -211,16 +216,24 @@ type SweepOpts struct {
 	Workers    int    `json:"workers,omitempty"`
 }
 
-// PanelRequest is the body of POST /v1/panels: one figure panel (a rate sweep
-// of both architectures), as in the paper's Figs 9-11.
+// MaxPanelModels bounds the architectures one panel request may sweep.
+const MaxPanelModels = 16
+
+// PanelRequest is the body of POST /v1/panels: one figure panel (a rate
+// sweep over a set of architectures), as in the paper's Figs 9-11. An empty
+// Models list sweeps the paper's fixed quarc/spidergon pair under its
+// pre-existing cache keys.
 type PanelRequest struct {
 	Figure      string    `json:"figure,omitempty"`
 	Name        string    `json:"name,omitempty"`
 	N           int       `json:"n"`
 	MsgLen      int       `json:"msglen,omitempty"`
 	Beta        float64   `json:"beta,omitempty"`
+	Models      []string  `json:"models,omitempty"`
 	Pattern     string    `json:"pattern,omitempty"`
 	HotspotBias float64   `json:"hotspot_bias,omitempty"`
+	McastFrac   float64   `json:"mcast_frac,omitempty"`
+	McastSize   int       `json:"mcast_size,omitempty"`
 	Rates       []float64 `json:"rates,omitempty"`
 	Opts        SweepOpts `json:"opts,omitempty"`
 }
@@ -247,14 +260,42 @@ func (p PanelRequest) SpecOpts() (experiments.PanelSpec, experiments.RunOpts, er
 	if len(p.Rates) > MaxRatePoints {
 		return experiments.PanelSpec{}, experiments.RunOpts{}, fmt.Errorf("%d rates exceed the limit %d", len(p.Rates), MaxRatePoints)
 	}
+	if len(p.Models) > MaxPanelModels {
+		return experiments.PanelSpec{}, experiments.RunOpts{}, fmt.Errorf("%d models exceed the limit %d", len(p.Models), MaxPanelModels)
+	}
+	var models []string
+	seen := map[string]bool{}
+	for _, m := range p.Models {
+		name, err := ParseModel(m)
+		if err != nil {
+			return experiments.PanelSpec{}, experiments.RunOpts{}, err
+		}
+		if seen[name] {
+			return experiments.PanelSpec{}, experiments.RunOpts{}, fmt.Errorf("duplicate model %q", name)
+		}
+		seen[name] = true
+		if err := model.CheckSize(name, p.N); err != nil {
+			return experiments.PanelSpec{}, experiments.RunOpts{}, err
+		}
+		models = append(models, name)
+	}
 	spec := experiments.PanelSpec{
 		Figure: p.Figure, Name: p.Name,
-		N: p.N, MsgLen: p.MsgLen, Beta: p.Beta,
+		N: p.N, MsgLen: p.MsgLen, Beta: p.Beta, Models: models,
 		Pattern: pat, HotspotBias: p.HotspotBias,
+		McastFrac: p.McastFrac, McastSize: p.McastSize,
 		Rates: append([]float64(nil), p.Rates...),
 	}
 	if spec.MsgLen == 0 {
 		spec.MsgLen = 16
+	}
+	switch {
+	case spec.McastFrac < 0 || spec.McastFrac > 1:
+		return experiments.PanelSpec{}, experiments.RunOpts{}, fmt.Errorf("mcast_frac %v outside [0,1]", spec.McastFrac)
+	case spec.McastFrac == 0 && spec.McastSize != 0:
+		return experiments.PanelSpec{}, experiments.RunOpts{}, fmt.Errorf("mcast_size %d without mcast_frac", spec.McastSize)
+	case spec.McastFrac > 0 && (spec.McastSize < 2 || spec.McastSize > spec.N-1):
+		return experiments.PanelSpec{}, experiments.RunOpts{}, fmt.Errorf("mcast_size %d outside [2,%d]", spec.McastSize, spec.N-1)
 	}
 	def := experiments.DefaultOpts()
 	o := p.Opts
@@ -300,7 +341,7 @@ func (p PanelRequest) SpecOpts() (experiments.PanelSpec, experiments.RunOpts, er
 	if rates == 0 {
 		rates = opts.Points
 	}
-	if points := int64(2) * int64(rates) * int64(opts.Replicates); points*(opts.Warmup+opts.Measure+opts.Drain) > MaxJobCycles {
+	if points := int64(len(spec.SweptModels())) * int64(rates) * int64(opts.Replicates); points*(opts.Warmup+opts.Measure+opts.Drain) > MaxJobCycles {
 		return experiments.PanelSpec{}, experiments.RunOpts{}, fmt.Errorf("points x replicates x cycles exceeds the job limit %d", int64(MaxJobCycles))
 	}
 	return spec, opts, nil
@@ -318,6 +359,8 @@ type ResultJSON struct {
 	Pattern       string  `json:"pattern"`
 	BurstMeanOn   float64 `json:"burst_mean_on,omitempty"`
 	BurstMeanOff  float64 `json:"burst_mean_off,omitempty"`
+	McastFrac     float64 `json:"mcast_frac,omitempty"`
+	McastSize     int     `json:"mcast_size,omitempty"`
 	Seed          uint64  `json:"seed"`
 	UnicastMean   float64 `json:"unicast_mean"`
 	UnicastCI     float64 `json:"unicast_ci95"`
@@ -332,6 +375,7 @@ type ResultJSON struct {
 	BcastP99      float64 `json:"bcast_p99"`
 	BcastDelivery float64 `json:"bcast_delivery"`
 	BcastCount    int64   `json:"bcast_count"`
+	McastCount    int64   `json:"mcast_count,omitempty"`
 	Throughput    float64 `json:"throughput"`
 	Saturated     bool    `json:"saturated"`
 	Leftover      int     `json:"leftover"`
@@ -350,6 +394,8 @@ func EncodeResult(r experiments.Result) ResultJSON {
 		Pattern:       PatternName(r.Cfg.Pattern),
 		BurstMeanOn:   r.Cfg.BurstMeanOn,
 		BurstMeanOff:  r.Cfg.BurstMeanOff,
+		McastFrac:     r.Cfg.McastFrac,
+		McastSize:     r.Cfg.McastSize,
 		Seed:          r.Cfg.Seed,
 		UnicastMean:   r.UnicastMean,
 		UnicastCI:     r.UnicastCI,
@@ -364,6 +410,7 @@ func EncodeResult(r experiments.Result) ResultJSON {
 		BcastP99:      r.BcastP99,
 		BcastDelivery: r.BcastDelivery,
 		BcastCount:    r.BcastCount,
+		McastCount:    r.McastCount,
 		Throughput:    r.Throughput,
 		Saturated:     r.Saturated,
 		Leftover:      r.Leftover,
@@ -393,7 +440,12 @@ func EncodeRun(agg experiments.Result, reps []experiments.Result) RunResult {
 }
 
 // PanelResultJSON is the payload of a completed panel job (and of
-// quarcbench -json): the replicate-aggregated sweep of both architectures.
+// quarcbench -json): the replicate-aggregated sweep of the panel's model
+// set. Legacy requests (no models field) keep the exact pre-N-way payload:
+// quarc/spidergon arrays and no models/curves keys. N-way requests carry
+// the swept model list in curve order plus one curve per model, with the
+// quarc/spidergon arrays still populated when those models are in the set
+// so pre-N-way consumers keep working.
 type PanelResultJSON struct {
 	Figure string  `json:"figure,omitempty"`
 	Name   string  `json:"name,omitempty"`
@@ -402,12 +454,16 @@ type PanelResultJSON struct {
 	Beta   float64 `json:"beta"`
 	// Pattern is omitted for the paper's uniform workload, keeping
 	// pre-existing panel payloads byte-identical.
-	Pattern     string       `json:"pattern,omitempty"`
-	HotspotBias float64      `json:"hotspot_bias,omitempty"`
-	Rates       []float64    `json:"rates"`
-	Replicates  int          `json:"replicates"`
-	Quarc       []ResultJSON `json:"quarc"`
-	Spidergon   []ResultJSON `json:"spidergon"`
+	Pattern     string                  `json:"pattern,omitempty"`
+	HotspotBias float64                 `json:"hotspot_bias,omitempty"`
+	McastFrac   float64                 `json:"mcast_frac,omitempty"`
+	McastSize   int                     `json:"mcast_size,omitempty"`
+	Models      []string                `json:"models,omitempty"`
+	Rates       []float64               `json:"rates"`
+	Replicates  int                     `json:"replicates"`
+	Quarc       []ResultJSON            `json:"quarc,omitempty"`
+	Spidergon   []ResultJSON            `json:"spidergon,omitempty"`
+	Curves      map[string][]ResultJSON `json:"curves,omitempty"`
 }
 
 // EncodePanel converts a measured panel to its wire form.
@@ -415,6 +471,7 @@ func EncodePanel(pr experiments.PanelResult) PanelResultJSON {
 	out := PanelResultJSON{
 		Figure: pr.Spec.Figure, Name: pr.Spec.Name,
 		N: pr.Spec.N, MsgLen: pr.Spec.MsgLen, Beta: pr.Spec.Beta,
+		McastFrac: pr.Spec.McastFrac, McastSize: pr.Spec.McastSize,
 		Rates:      append([]float64(nil), pr.RatesSwept...),
 		Replicates: pr.Replicates,
 	}
@@ -422,11 +479,28 @@ func EncodePanel(pr experiments.PanelResult) PanelResultJSON {
 		out.Pattern = PatternName(pr.Spec.Pattern)
 		out.HotspotBias = pr.Spec.HotspotBias
 	}
-	for _, r := range pr.Results[experiments.TopoQuarc] {
-		out.Quarc = append(out.Quarc, EncodeResult(r))
+	encode := func(name string) []ResultJSON {
+		var rs []ResultJSON
+		for _, r := range pr.Results[name] {
+			rs = append(rs, EncodeResult(r))
+		}
+		return rs
 	}
-	for _, r := range pr.Results[experiments.TopoSpidergon] {
-		out.Spidergon = append(out.Spidergon, EncodeResult(r))
+	out.Quarc = encode("quarc")
+	out.Spidergon = encode("spidergon")
+	if len(pr.Spec.Models) > 0 {
+		out.Models = append([]string(nil), pr.Models...)
+		out.Curves = make(map[string][]ResultJSON, len(pr.Models))
+		for _, name := range pr.Models {
+			switch name {
+			case "quarc":
+				out.Curves[name] = out.Quarc
+			case "spidergon":
+				out.Curves[name] = out.Spidergon
+			default:
+				out.Curves[name] = encode(name)
+			}
+		}
 	}
 	return out
 }

@@ -44,11 +44,14 @@ func PanelKey(spec experiments.PanelSpec, opts experiments.RunOpts) string {
 		Figure, Name string
 		N, MsgLen    int
 		Beta         float64
-		// The traffic-shaping fields carry omitempty so the paper's uniform
-		// panels keep the exact cache keys they had before the fields
-		// existed.
-		Pattern                int     `json:",omitempty"`
-		HotspotBias            float64 `json:",omitempty"`
+		// The traffic-shaping, model-set and multicast fields carry
+		// omitempty so the paper's fixed-pair uniform panels keep the exact
+		// cache keys they had before the fields existed.
+		Pattern                int      `json:",omitempty"`
+		HotspotBias            float64  `json:",omitempty"`
+		Models                 []string `json:",omitempty"`
+		McastFrac              float64  `json:",omitempty"`
+		McastSize              int      `json:",omitempty"`
 		Rates                  []float64
 		Warmup, Measure, Drain int64
 		Depth                  int
@@ -58,6 +61,7 @@ func PanelKey(spec experiments.PanelSpec, opts experiments.RunOpts) string {
 		Kind: "panel", Figure: spec.Figure, Name: spec.Name,
 		N: spec.N, MsgLen: spec.MsgLen, Beta: spec.Beta,
 		Pattern: int(spec.Pattern), HotspotBias: spec.HotspotBias,
+		Models: spec.Models, McastFrac: spec.McastFrac, McastSize: spec.McastSize,
 		Rates:  spec.Rates,
 		Warmup: opts.Warmup, Measure: opts.Measure, Drain: opts.Drain,
 		Depth: opts.Depth, Seed: opts.Seed,

@@ -68,4 +68,26 @@ func TestCanonicalKeysUnchangedAcrossRegistryRefactor(t *testing.T) {
 	if PanelKey(hot, opts) == PanelKey(spec, opts) {
 		t.Error("hotspot panel shares the uniform panel's cache key")
 	}
+	mcast := runCases[0].cfg
+	mcast.McastFrac, mcast.McastSize = 0.2, 4
+	if RunKey(mcast, 3) == runCases[0].want {
+		t.Error("multicast run shares the plain run's cache key")
+	}
+	nway := spec
+	nway.Models = []string{"quarc", "spidergon", "ring"}
+	if PanelKey(nway, opts) == PanelKey(spec, opts) {
+		t.Error("N-way panel shares the legacy pair's cache key")
+	}
+	explicitPair := spec
+	explicitPair.Models = []string{"quarc", "spidergon"}
+	if PanelKey(explicitPair, opts) == PanelKey(spec, opts) {
+		// The explicit pair simulates the same systems but echoes a models
+		// field in its payload, so the cached bytes must not alias.
+		t.Error("explicit quarc/spidergon panel shares the legacy pair's cache key")
+	}
+	mcastPanel := spec
+	mcastPanel.McastFrac, mcastPanel.McastSize = 0.2, 4
+	if PanelKey(mcastPanel, opts) == PanelKey(spec, opts) {
+		t.Error("multicast panel shares the plain panel's cache key")
+	}
 }

@@ -28,7 +28,9 @@ func (s State) terminal() bool {
 
 // Event is one NDJSON progress line of GET /v1/jobs/{id}/events. Type is
 // "state" for lifecycle transitions and "point" for sweep-point completions
-// (rep is omitted for replicate 0).
+// (rep is omitted for replicate 0). Topo carries the canonical registry
+// name of the point's model — including registry-only models with no legacy
+// enum member.
 type Event struct {
 	Type        string  `json:"type"`
 	State       State   `json:"state,omitempty"`
@@ -169,7 +171,7 @@ func (j *Job) pointDone(pd experiments.PointDone) {
 	case len(j.events) < maxJobEvents:
 		j.events = append(j.events, Event{
 			Type: "point", Done: j.done, Total: j.total,
-			Topo: pd.Topo.String(), Rate: pd.Rate, Rep: pd.Replicate,
+			Topo: pd.Model, Rate: pd.Rate, Rep: pd.Replicate,
 			UnicastMean: pd.Result.UnicastMean,
 		})
 	case len(j.events) == maxJobEvents:

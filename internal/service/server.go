@@ -278,11 +278,18 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind, key string
 }
 
 // respondSubmitted answers a successfully registered submission, honouring
-// ?wait=1.
+// ?wait=1. A wait cut short by the client's request context (deadline or
+// disconnect) answers 202 with the job's current state — the honest "still
+// running, poll the job" status — never 200 with a non-terminal snapshot
+// that a caller could mistake for a completed job.
 func (s *Server) respondSubmitted(w http.ResponseWriter, r *http.Request, j *Job) {
 	if wantWait(r) {
 		j.WaitTerminal(r.Context())
-		writeJSON(w, http.StatusOK, j.Snapshot(true))
+		if j.State().terminal() {
+			writeJSON(w, http.StatusOK, j.Snapshot(true))
+		} else {
+			writeJSON(w, http.StatusAccepted, j.Snapshot(false))
+		}
 		return
 	}
 	writeJSON(w, http.StatusAccepted, j.Snapshot(false))

@@ -3,10 +3,12 @@ package service
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -580,5 +582,191 @@ func TestOversizedMeshRejected(t *testing.T) {
 	resp, body := postJSON(t, ts.URL+"/v1/runs", RunRequest{Topo: "mesh", N: 100, Beta: 0.1, Rate: 0.005})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("n=100 mesh accepted: %s: %s", resp.Status, body)
+	}
+}
+
+// collectEvents replays a finished job's NDJSON stream.
+func collectEvents(t *testing.T, ts *httptest.Server, id string) []Event {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var events []Event
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+// Regression: point progress events of a registry-only model must carry its
+// canonical name, not the zero-value enum's "quarc" (PointDone used to hold
+// the Topology enum, which is TopoQuarc whenever Config.Model selects the
+// model).
+func TestRunEventsCarryRegistryModelName(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	for _, replicates := range []int{1, 2} { // both RunReplicatedContext paths
+		job := submitWait(t, ts, "/v1/runs", RunRequest{
+			Topo: "ring", N: 8, MsgLen: 4, Rate: 0.002,
+			Warmup: 100, Measure: 300, Drain: 3000, Seed: 21, Replicates: replicates,
+		})
+		if job.State != StateDone {
+			t.Fatalf("replicates=%d: job finished %s: %s", replicates, job.State, job.Error)
+		}
+		points := 0
+		for _, e := range collectEvents(t, ts, job.ID) {
+			if e.Type != "point" {
+				continue
+			}
+			points++
+			if e.Topo != "ring" {
+				t.Fatalf("replicates=%d: point event labels topo %q, want ring", replicates, e.Topo)
+			}
+		}
+		if points != replicates {
+			t.Fatalf("replicates=%d: %d point events", replicates, points)
+		}
+	}
+}
+
+// Regression: a ?wait=1 submission whose request context expires mid-wait
+// must answer 202 with the job's live state, never 200 with a non-terminal
+// snapshot a client could mistake for a completed job. The handler is driven
+// directly (a real client would abort the round trip along with its
+// context), which is exactly the view a reverse proxy with a read timeout
+// or a cancelled downstream handler gets.
+func TestWaitExpiryAnswersAccepted(t *testing.T) {
+	svc, _ := newTestServer(t, Config{Workers: 1})
+	body, err := json.Marshal(slowRun())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	req := httptest.NewRequest(http.MethodPost, "/v1/runs?wait=1", bytes.NewReader(body)).WithContext(ctx)
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	svc.Handler().ServeHTTP(rec, req) // blocks until the wait context expires
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("expired wait answered %d: %s", rec.Code, rec.Body.String())
+	}
+	var job JobJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &job); err != nil {
+		t.Fatal(err)
+	}
+	if job.State.terminal() {
+		t.Fatalf("expired wait reports terminal state %s", job.State)
+	}
+	if len(job.Result) != 0 {
+		t.Fatal("non-terminal snapshot carries a result payload")
+	}
+}
+
+// A three-model panel with multicast traffic runs end to end through the
+// daemon: models echoed in curve order, one curve per model, multicast knobs
+// echoed on the panel and its points, and the legacy quarc/spidergon arrays
+// still present for old consumers.
+func TestPanelNWayMulticastOverWire(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	req := PanelRequest{
+		Figure: "nway", Name: "three models", N: 8, MsgLen: 4, Beta: 0.05,
+		Models:    []string{"quarc", "spidergon", "ring"},
+		McastFrac: 0.2, McastSize: 3,
+		Rates: []float64{0.008, 0.015},
+		Opts:  SweepOpts{Warmup: 100, Measure: 600, Drain: 8000, Seed: 7, Replicates: 2},
+	}
+	job := submitWait(t, ts, "/v1/panels", req)
+	if job.State != StateDone {
+		t.Fatalf("job finished %s: %s", job.State, job.Error)
+	}
+	var out PanelResultJSON
+	if err := json.Unmarshal(job.Result, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out.Models, req.Models) {
+		t.Fatalf("models echoed as %v, want %v", out.Models, req.Models)
+	}
+	if out.McastFrac != req.McastFrac || out.McastSize != req.McastSize {
+		t.Fatalf("multicast knobs not echoed: %+v", out)
+	}
+	if len(out.Curves) != 3 {
+		t.Fatalf("%d curves, want 3", len(out.Curves))
+	}
+	for _, m := range req.Models {
+		curve := out.Curves[m]
+		if len(curve) != len(req.Rates) {
+			t.Fatalf("%s: curve has %d points, want %d", m, len(curve), len(req.Rates))
+		}
+		for _, p := range curve {
+			if p.Topo != m {
+				t.Fatalf("curve %s holds a %s point", m, p.Topo)
+			}
+			if p.McastFrac != req.McastFrac || p.McastSize != req.McastSize {
+				t.Fatalf("%s point lost the multicast knobs: %+v", m, p)
+			}
+			if p.McastCount == 0 {
+				t.Fatalf("%s point completed no multicasts", m)
+			}
+			if p.UnicastCI == 0 {
+				t.Fatalf("%s point has no CI whisker under replication: %+v", m, p)
+			}
+		}
+	}
+	// Back-compat arrays mirror the curves for the legacy pair.
+	if !reflect.DeepEqual(out.Quarc, out.Curves["quarc"]) ||
+		!reflect.DeepEqual(out.Spidergon, out.Curves["spidergon"]) {
+		t.Fatal("legacy quarc/spidergon arrays diverge from the curves map")
+	}
+	// Point progress events must name every model in the set.
+	seen := map[string]bool{}
+	for _, e := range collectEvents(t, ts, job.ID) {
+		if e.Type == "point" {
+			seen[e.Topo] = true
+		}
+	}
+	for _, m := range req.Models {
+		if !seen[m] {
+			t.Errorf("no point event for model %q", m)
+		}
+	}
+}
+
+// Multicast and model-set validation at the API boundary.
+func TestNWayAndMulticastValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	cases := []struct {
+		path string
+		body string
+	}{
+		{"/v1/runs", `{"n":16,"rate":0.01,"mcast_frac":1.5,"mcast_size":3}`},
+		{"/v1/runs", `{"n":16,"rate":0.01,"mcast_frac":0.2}`},
+		{"/v1/runs", `{"n":16,"rate":0.01,"mcast_size":3}`},
+		{"/v1/runs", `{"n":16,"rate":0.01,"mcast_frac":0.2,"mcast_size":1}`},
+		{"/v1/runs", `{"n":16,"rate":0.01,"mcast_frac":0.2,"mcast_size":16}`},
+		{"/v1/panels", `{"n":16,"models":["quarc","nope"]}`},
+		{"/v1/panels", `{"n":16,"models":["quarc","quarc"]}`},
+		{"/v1/panels", `{"n":12,"models":["mesh"]}`},
+		{"/v1/panels", `{"n":16,"mcast_frac":0.2}`},
+		{"/v1/panels", `{"n":16,"mcast_frac":0.2,"mcast_size":16}`},
+		{"/v1/panels", `{"n":16,"mcast_size":4}`},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(ts.URL+c.path, "application/json", strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s %s: status %d, want 400", c.path, c.body, resp.StatusCode)
+		}
 	}
 }

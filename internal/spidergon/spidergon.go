@@ -213,6 +213,14 @@ func (a *Adapter) SendBroadcast(msgLen int, now int64) uint64 {
 	return msgID
 }
 
+// SendMulticast emulates the collective in software — one independent
+// unicast per distinct remote target through the single injection queue (the
+// Spidergon has no absorb-and-forward hardware, so a multicast costs it k
+// full unicasts where the Quarc pays per quadrant).
+func (a *Adapter) SendMulticast(targets []int, msgLen int, now int64) uint64 {
+	return a.SendMulticastFanout(a.fab, 0, targets, msgLen, now)
+}
+
 func (a *Adapter) onTail(f flit.Flit, now int64) {
 	a.fab.Tracker.Delivered(f.MsgID, a.Node, now)
 	if f.Traffic == flit.BcastChain && f.Remain > 0 {

@@ -19,9 +19,14 @@ type BurstyConfig struct {
 	MeanOn  float64 // mean burst length in cycles
 	MeanOff float64 // mean silence length in cycles
 	Beta    float64 // broadcast fraction
-	MsgLen  int
-	Seed    uint64
-	Until   int64
+	// McastFrac/McastSize mirror Config: the fraction of non-broadcast
+	// messages sent as McastSize-target multicasts, drawn after the
+	// broadcast draw so zero knobs leave existing streams untouched.
+	McastFrac float64
+	McastSize int
+	MsgLen    int
+	Seed      uint64
+	Until     int64
 }
 
 // Validate checks the parameters.
@@ -38,7 +43,7 @@ func (c BurstyConfig) Validate() error {
 	case c.MsgLen < 2:
 		return fmt.Errorf("traffic: message length %d", c.MsgLen)
 	}
-	return nil
+	return validateMulticast(c.McastFrac, c.McastSize, c.N)
 }
 
 // MeanRate returns the long-run average offered load of the process.
@@ -54,6 +59,7 @@ type BurstySource struct {
 	sender Sender
 	sent   int64
 	on     bool
+	pool   []int // reused multicast target scratch
 }
 
 // Sent returns how many messages this source generated.
@@ -111,9 +117,13 @@ func InstallBursty(k *sim.Kernel, cfg BurstyConfig, senders []Sender) ([]*Bursty
 }
 
 func (s *BurstySource) fire(now int64) {
-	if s.cfg.Beta > 0 && s.r.Bernoulli(s.cfg.Beta) {
+	switch {
+	case s.cfg.Beta > 0 && s.r.Bernoulli(s.cfg.Beta):
 		s.sender.SendBroadcast(s.cfg.MsgLen, now)
-	} else {
+	case s.cfg.McastFrac > 0 && s.r.Bernoulli(s.cfg.McastFrac):
+		s.pool = multicastTargets(s.pool, s.r, s.cfg.N, s.node, s.cfg.McastSize)
+		s.sender.SendMulticast(s.pool[:s.cfg.McastSize], s.cfg.MsgLen, now)
+	default:
 		n := s.cfg.N
 		d := s.r.Intn(n - 1)
 		if d >= s.node {

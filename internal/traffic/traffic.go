@@ -15,10 +15,14 @@ import (
 	"quarc/internal/sim"
 )
 
-// Sender is the send-side surface every network adapter exposes.
+// Sender is the send-side surface every network adapter exposes. Adapters
+// with hardware collective support (the Quarc transceiver) route a multicast
+// natively; the others emulate it by unicast fan-out — which is exactly the
+// comparison the paper's evaluation turns on.
 type Sender interface {
 	SendUnicast(dst, msgLen int, now int64) uint64
 	SendBroadcast(msgLen int, now int64) uint64
+	SendMulticast(targets []int, msgLen int, now int64) uint64
 }
 
 // Pattern selects the spatial distribution of unicast destinations.
@@ -57,8 +61,14 @@ type Config struct {
 	Pattern     Pattern
 	HotspotNode int
 	HotspotBias float64 // probability a unicast targets the hotspot
-	Seed        uint64
-	Until       int64 // stop generating at this cycle (0 = forever)
+	// McastFrac is the fraction of the non-broadcast messages sent as
+	// McastSize-target multicasts (distinct uniform targets, never self).
+	// The multicast draw happens after the broadcast draw, so a zero
+	// McastFrac leaves the random streams of existing workloads untouched.
+	McastFrac float64
+	McastSize int // targets per multicast; 2..N-1, required with McastFrac
+	Seed      uint64
+	Until     int64 // stop generating at this cycle (0 = forever)
 }
 
 // Validate checks the workload parameters.
@@ -75,6 +85,21 @@ func (c Config) Validate() error {
 	case c.HotspotBias < 0 || c.HotspotBias > 1:
 		return fmt.Errorf("traffic: hotspot bias %v", c.HotspotBias)
 	}
+	return validateMulticast(c.McastFrac, c.McastSize, c.N)
+}
+
+// validateMulticast checks the multicast knobs shared by the Bernoulli and
+// bursty sources: both set or both zero, and a size that names a genuine
+// multi-target collective smaller than a broadcast.
+func validateMulticast(frac float64, size, n int) error {
+	switch {
+	case frac < 0 || frac > 1:
+		return fmt.Errorf("traffic: multicast fraction %v outside [0,1]", frac)
+	case frac == 0 && size != 0:
+		return fmt.Errorf("traffic: multicast size %d without a multicast fraction", size)
+	case frac > 0 && (size < 2 || size > n-1):
+		return fmt.Errorf("traffic: multicast size %d outside [2,%d]", size, n-1)
+	}
 	return nil
 }
 
@@ -85,6 +110,7 @@ type Source struct {
 	r      *rng.Stream
 	sender Sender
 	sent   int64
+	pool   []int // reused multicast target scratch
 }
 
 // Sent returns how many messages this source generated.
@@ -131,12 +157,34 @@ func bitReverse(x, n int) int {
 
 // fire generates one message at the given cycle.
 func (s *Source) fire(now int64) {
-	if s.cfg.Beta > 0 && s.r.Bernoulli(s.cfg.Beta) {
+	switch {
+	case s.cfg.Beta > 0 && s.r.Bernoulli(s.cfg.Beta):
 		s.sender.SendBroadcast(s.cfg.MsgLen, now)
-	} else {
+	case s.cfg.McastFrac > 0 && s.r.Bernoulli(s.cfg.McastFrac):
+		s.pool = multicastTargets(s.pool, s.r, s.cfg.N, s.node, s.cfg.McastSize)
+		s.sender.SendMulticast(s.pool[:s.cfg.McastSize], s.cfg.MsgLen, now)
+	default:
 		s.sender.SendUnicast(s.destination(), s.cfg.MsgLen, now)
 	}
 	s.sent++
+}
+
+// multicastTargets draws k distinct destinations for a multicast from self —
+// a partial Fisher-Yates over the other n-1 nodes, so every k-subset is
+// equally likely and the draw costs exactly k Intn calls. The pool slice is
+// reused across calls; the first k entries are the targets.
+func multicastTargets(pool []int, r *rng.Stream, n, self, k int) []int {
+	pool = pool[:0]
+	for d := 0; d < n; d++ {
+		if d != self {
+			pool = append(pool, d)
+		}
+	}
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(len(pool)-i)
+		pool[i], pool[j] = pool[j], pool[i]
+	}
+	return pool
 }
 
 // Install creates one source per node and schedules their arrival processes

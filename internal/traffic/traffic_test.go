@@ -11,6 +11,7 @@ import (
 type recorder struct {
 	unicasts   []int
 	broadcasts int
+	multicasts [][]int
 	times      []int64
 }
 
@@ -22,6 +23,12 @@ func (r *recorder) SendUnicast(dst, msgLen int, now int64) uint64 {
 
 func (r *recorder) SendBroadcast(msgLen int, now int64) uint64 {
 	r.broadcasts++
+	r.times = append(r.times, now)
+	return 0
+}
+
+func (r *recorder) SendMulticast(targets []int, msgLen int, now int64) uint64 {
+	r.multicasts = append(r.multicasts, append([]int(nil), targets...))
 	r.times = append(r.times, now)
 	return 0
 }
@@ -175,6 +182,58 @@ func TestBitReversePattern(t *testing.T) {
 				t.Fatal("self-addressed message")
 			}
 		}
+	}
+}
+
+func TestMulticastValidation(t *testing.T) {
+	bad := []Config{
+		{N: 8, Rate: 0.1, MsgLen: 4, McastFrac: -0.1},
+		{N: 8, Rate: 0.1, MsgLen: 4, McastFrac: 1.5, McastSize: 3},
+		{N: 8, Rate: 0.1, MsgLen: 4, McastFrac: 0.2},               // frac without size
+		{N: 8, Rate: 0.1, MsgLen: 4, McastSize: 3},                 // size without frac
+		{N: 8, Rate: 0.1, MsgLen: 4, McastFrac: 0.2, McastSize: 1}, // a unicast
+		{N: 8, Rate: 0.1, MsgLen: 4, McastFrac: 0.2, McastSize: 8}, // broader than broadcast
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("case %d: bad multicast config validated", i)
+		}
+	}
+	good := Config{N: 8, Rate: 0.1, MsgLen: 4, McastFrac: 0.2, McastSize: 3}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good multicast config rejected: %v", err)
+	}
+}
+
+func TestMulticastFractionAndTargets(t *testing.T) {
+	cfg := Config{N: 8, Rate: 0.2, Beta: 0.1, MsgLen: 4,
+		McastFrac: 0.25, McastSize: 3, Seed: 11}
+	recs, sources := run(t, cfg, 100000)
+	total := TotalSent(sources)
+	var mcasts int
+	for node, r := range recs {
+		mcasts += len(r.multicasts)
+		for _, targets := range r.multicasts {
+			if len(targets) != cfg.McastSize {
+				t.Fatalf("node %d multicast has %d targets, want %d", node, len(targets), cfg.McastSize)
+			}
+			seen := map[int]bool{}
+			for _, d := range targets {
+				if d == node {
+					t.Fatalf("node %d multicast targets itself", node)
+				}
+				if seen[d] {
+					t.Fatalf("node %d multicast repeats target %d", node, d)
+				}
+				seen[d] = true
+			}
+		}
+	}
+	// McastFrac applies to the non-broadcast share of the traffic.
+	want := (1 - cfg.Beta) * cfg.McastFrac
+	frac := float64(mcasts) / float64(total)
+	if math.Abs(frac-want) > 0.01 {
+		t.Errorf("multicast fraction = %v, want about %v", frac, want)
 	}
 }
 

@@ -73,7 +73,7 @@ func TestPublicPanelAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(pr.QuarcUni.Y) != 1 {
+	if len(pr.UnicastSeries("quarc").Y) != 1 {
 		t.Fatal("panel sweep incomplete")
 	}
 	if pr.Render() == "" {
