@@ -1,6 +1,8 @@
 // Command quarcd serves the simulator over a JSON HTTP API: submit single
-// runs (POST /v1/runs) or figure-panel sweeps (POST /v1/panels), enumerate
-// the registered network models (GET /v1/models), poll or wait on jobs
+// runs (POST /v1/runs), figure-panel sweeps (POST /v1/panels) or
+// design-space explorations answered with a latency/throughput/cost Pareto
+// front (POST /v1/explore), enumerate the registered network models
+// (GET /v1/models), poll or wait on jobs
 // (GET /v1/jobs/{id}?wait=1), stream per-point progress as NDJSON
 // (GET /v1/jobs/{id}/events), cancel (POST /v1/jobs/{id}/cancel), and scrape
 // operational counters (GET /metrics). Identical requests are served
@@ -15,6 +17,7 @@
 //	curl -s localhost:8080/v1/runs?wait=1 -d '{"n":16,"rate":0.01,"beta":0.05}'
 //	curl -s localhost:8080/v1/runs?wait=1 -d '{"topo":"ring","n":16,"rate":0.005}'
 //	curl -s localhost:8080/v1/panels -d '{"n":16,"beta":0.05,"opts":{"replicates":3}}'
+//	curl -s localhost:8080/v1/explore -d '{"models":["quarc","spidergon"],"ns":[16,32],"rates":[0.005,0.01]}'
 //	curl -N localhost:8080/v1/jobs/j000001/events
 //	curl -s localhost:8080/metrics
 package main

@@ -202,6 +202,39 @@ func MeshUniform(w, h, msgLen int, lambda float64, torus bool) Prediction {
 	}, endpoints{injChannels: 1, sharedEject: true})
 }
 
+// ForModel dispatches to the closed-form uniform-unicast model of a
+// registry model by name, validating the size instead of panicking: ok is
+// false for models with no analytical model (ring, and anything registered
+// later) and for sizes the model cannot describe. The Quarc ablation
+// presets map onto the Quarc model — they share its topology and routing,
+// so the channel-level analysis is identical; only the endpoint queueing
+// differs, a second-order effect at the low loads where the model is valid.
+// Mesh and torus sizes must be squares (the registry's builds are square).
+func ForModel(model string, n, msgLen int, lambda float64) (Prediction, bool) {
+	if msgLen < 2 || lambda < 0 {
+		return Prediction{}, false
+	}
+	switch model {
+	case "quarc", "quarc-chainbcast", "quarc-1queue":
+		if topology.ValidateRingSize(n) != nil {
+			return Prediction{}, false
+		}
+		return QuarcUniform(n, msgLen, lambda), true
+	case "spidergon":
+		if topology.ValidateRingSize(n) != nil {
+			return Prediction{}, false
+		}
+		return SpidergonUniform(n, msgLen, lambda), true
+	case "mesh", "torus":
+		side := int(math.Round(math.Sqrt(float64(n))))
+		if n < 4 || side*side != n {
+			return Prediction{}, false
+		}
+		return MeshUniform(side, side, msgLen, lambda, model == "torus"), true
+	}
+	return Prediction{}, false
+}
+
 // QuarcBroadcastCompletion is the zero-load completion latency of a true
 // BRCP broadcast: the deepest branch has diameter n/4 hops and the tail
 // follows msgLen-1 flits behind the header.

@@ -1,0 +1,80 @@
+// Validation of the analytical latency models against the flit-level
+// simulator, reproducing the paper's §3.2 methodology ("verified
+// extensively against analytical models for the Spidergon and mesh
+// topologies employing wormhole routing"). The suite lives in package
+// analytic_test because it drives the simulator through
+// internal/experiments, which itself imports this package.
+package analytic_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"quarc/internal/analytic"
+	"quarc/internal/experiments"
+)
+
+// TestAnalyticMatchesSimulationAtLowLoad runs each closed-form model's
+// topology at a low uniform-unicast load and requires the predicted mean
+// latency to agree with the simulated mean.
+//
+// Measured error bound (N=16, M=16 flits, lambda=0.005 msgs/node/cycle,
+// warmup 1000 / measure 8000 / drain 20000, seed 20090523, 2 replicates):
+// quarc +2.3%, spidergon +0.1%, mesh +6.0%, torus +2.5% — the M/D/1
+// channel model is mildly pessimistic everywhere (it ignores the wormhole
+// pipeline's partial overlap of waiting and transmission), with the mesh
+// worst because XY routing concentrates its centre channels. The asserted
+// tolerance is 10% — looser than the measured errors so seed jitter cannot
+// flake the suite, but tight enough that a routing or queueing regression
+// in either the simulator or the model trips it.
+func TestAnalyticMatchesSimulationAtLowLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulating four panels is not short")
+	}
+	const (
+		n         = 16
+		msgLen    = 16
+		lambda    = 0.005
+		tolerance = 10.0 // percent
+	)
+	for _, model := range []string{"quarc", "spidergon", "mesh", "torus"} {
+		model := model
+		t.Run(model, func(t *testing.T) {
+			t.Parallel()
+			pred, ok := analytic.ForModel(model, n, msgLen, lambda)
+			if !ok {
+				t.Fatalf("no analytical model for %s at n=%d", model, n)
+			}
+			if math.IsInf(pred.MeanLatency, 1) {
+				t.Fatalf("%s predicted saturated at lambda=%g (max util %.3f)", model, lambda, pred.MaxChannelUtil)
+			}
+			cfg := experiments.Config{
+				Model: model, N: n, MsgLen: msgLen, Rate: lambda,
+				Warmup: 1000, Measure: 8000, Drain: 20000, Seed: 20090523,
+			}.WithDefaults()
+			sim, _, err := experiments.RunReplicatedContext(context.Background(), cfg, 2, 1, nil)
+			if err != nil {
+				t.Fatalf("simulate: %v", err)
+			}
+			if sim.UnicastCount == 0 {
+				t.Fatal("simulation measured no unicasts")
+			}
+			errPc := 100 * (pred.MeanLatency - sim.UnicastMean) / sim.UnicastMean
+			t.Logf("%s: analytic %.2f vs simulated %.2f cycles (%+.1f%%, zero-load %.2f, avg hops %.2f)",
+				model, pred.MeanLatency, sim.UnicastMean, errPc, pred.ZeroLoadLatency, pred.AvgHops)
+			if math.Abs(errPc) > tolerance {
+				t.Errorf("%s: analytic-vs-simulated error %+.1f%% exceeds the %.0f%% bound",
+					model, errPc, tolerance)
+			}
+			// The prediction can never undercut its own zero-load floor, and at
+			// this load the network must be far from the capacity bound.
+			if pred.MeanLatency < pred.ZeroLoadLatency {
+				t.Errorf("%s: mean latency %.2f below the zero-load floor %.2f", model, pred.MeanLatency, pred.ZeroLoadLatency)
+			}
+			if lambda > 0.5*pred.SaturationRate {
+				t.Errorf("%s: lambda %g is not low load (saturation %g)", model, lambda, pred.SaturationRate)
+			}
+		})
+	}
+}

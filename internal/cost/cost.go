@@ -157,3 +157,41 @@ func PEQueueOverhead(meanDepth, sigma float64, addrBits int) (quarcBits, spiderB
 	spiderBits = (meanDepth + 3*sigma/math.Sqrt(4)) * float64(addrBits)
 	return quarcBits, spiderBits, nil
 }
+
+// switchModels maps registry model names to their calibrated switch models.
+// The Quarc ablation presets reuse the Quarc switch: they change queueing
+// discipline and broadcast routing, not the synthesised switch structure
+// this model is calibrated against, so their silicon cost is the Quarc's.
+// Models absent here (ring, mesh, torus) have no calibrated cost model:
+// SwitchFor reports !ok and the exploration layer marks them cost-unknown.
+var switchModels = map[string]func() Switch{
+	"quarc":            QuarcSwitch,
+	"quarc-chainbcast": QuarcSwitch,
+	"quarc-1queue":     QuarcSwitch,
+	"spidergon":        SpidergonSwitch,
+}
+
+// SwitchFor resolves a registry model name to its calibrated switch model.
+func SwitchFor(model string) (Switch, bool) {
+	f, ok := switchModels[model]
+	if !ok {
+		return Switch{}, false
+	}
+	return f(), true
+}
+
+// NetworkSlices is the silicon-cost axis of a design point: the total switch
+// slice count of an n-node network of the named model at the given payload
+// width. ok is false — and the slice count zero — for models without a
+// calibrated switch model or for non-positive n/width, so callers can keep
+// such points in a search without inventing a cost for them.
+func NetworkSlices(model string, n, width int) (slices int, ok bool) {
+	if n <= 0 || width <= 0 {
+		return 0, false
+	}
+	sw, ok := SwitchFor(model)
+	if !ok {
+		return 0, false
+	}
+	return n * sw.Slices(width), true
+}

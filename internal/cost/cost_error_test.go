@@ -1,0 +1,106 @@
+package cost
+
+import "testing"
+
+// TestPEQueueOverheadInvalidInputs walks every rejection branch: each bad
+// parameter must error and report zero bit counts, never a silent partial
+// answer.
+func TestPEQueueOverheadInvalidInputs(t *testing.T) {
+	cases := []struct {
+		name      string
+		meanDepth float64
+		sigma     float64
+		addrBits  int
+	}{
+		{"zero mean depth", 0, 2, 6},
+		{"negative mean depth", -4, 2, 6},
+		{"negative sigma", 16, -0.5, 6},
+		{"zero addr bits", 16, 2, 0},
+		{"negative addr bits", 16, 2, -8},
+	}
+	for _, c := range cases {
+		q, s, err := PEQueueOverhead(c.meanDepth, c.sigma, c.addrBits)
+		if err == nil {
+			t.Errorf("%s: accepted (%v, %v)", c.name, q, s)
+			continue
+		}
+		if q != 0 || s != 0 {
+			t.Errorf("%s: non-zero bits (%v, %v) alongside the error", c.name, q, s)
+		}
+	}
+	// Sigma zero is a valid degenerate case (no occupancy variance).
+	if _, _, err := PEQueueOverhead(16, 0, 6); err != nil {
+		t.Errorf("sigma=0 rejected: %v", err)
+	}
+}
+
+// TestSlicesEdgeWidths pins the structural model at the extremes of the wire
+// width: width 0 still costs the 2 flit-type bits of datapath, and huge
+// widths scale linearly without overflow surprises.
+func TestSlicesEdgeWidths(t *testing.T) {
+	m := Module{Name: "buf", Control: 10, Datapath: 34}
+	// Wire width is payload+2, so width 0 keeps 2/34 of the datapath.
+	if got := m.Slices(0); got != 12 {
+		t.Errorf("width 0: %d slices, want 12 (control 10 + datapath 2/34*34)", got)
+	}
+	// Exactly the reference width: control + full datapath.
+	if got := m.Slices(32); got != 44 {
+		t.Errorf("width 32: %d slices, want 44", got)
+	}
+	// Linear scaling: doubling the wire width (34 -> 68 means width 66)
+	// doubles the datapath share.
+	if got := m.Slices(66); got != 78 {
+		t.Errorf("width 66: %d slices, want 78 (control 10 + 2x datapath)", got)
+	}
+	// Whole switches stay positive and ordered at a degenerate width.
+	q, s := QuarcSwitch().Slices(0), SpidergonSwitch().Slices(0)
+	if q <= 0 || s <= 0 || q >= s {
+		t.Errorf("width 0 totals: quarc %d, spidergon %d; want 0 < quarc < spidergon", q, s)
+	}
+}
+
+// TestSwitchFor covers the registry-name resolution including the ablation
+// presets' aliasing onto the Quarc switch.
+func TestSwitchFor(t *testing.T) {
+	for _, name := range []string{"quarc", "quarc-chainbcast", "quarc-1queue"} {
+		sw, ok := SwitchFor(name)
+		if !ok || sw.Name != "Quarc" {
+			t.Errorf("SwitchFor(%q) = %q, %v; want the Quarc switch", name, sw.Name, ok)
+		}
+	}
+	if sw, ok := SwitchFor("spidergon"); !ok || sw.Name != "Spidergon" {
+		t.Errorf("SwitchFor(spidergon) = %q, %v", sw.Name, ok)
+	}
+	for _, name := range []string{"ring", "mesh", "torus", "", "nonsense"} {
+		if _, ok := SwitchFor(name); ok {
+			t.Errorf("SwitchFor(%q) resolved; models without a calibrated switch must report !ok", name)
+		}
+	}
+}
+
+// TestNetworkSlices covers the cost-axis entry point's error paths and its
+// arithmetic.
+func TestNetworkSlices(t *testing.T) {
+	if got, ok := NetworkSlices("quarc", 16, 32); !ok || got != 16*1453 {
+		t.Errorf("quarc n=16 w=32: %d, %v; want %d", got, ok, 16*1453)
+	}
+	if got, ok := NetworkSlices("spidergon", 16, 32); !ok || got != 16*1700 {
+		t.Errorf("spidergon n=16 w=32: %d, %v; want %d", got, ok, 16*1700)
+	}
+	bad := []struct {
+		name  string
+		model string
+		n, w  int
+	}{
+		{"unknown model", "mesh", 16, 32},
+		{"zero n", "quarc", 0, 32},
+		{"negative n", "quarc", -16, 32},
+		{"zero width", "quarc", 16, 0},
+		{"negative width", "quarc", 16, -32},
+	}
+	for _, c := range bad {
+		if got, ok := NetworkSlices(c.model, c.n, c.w); ok || got != 0 {
+			t.Errorf("%s: NetworkSlices = %d, %v; want 0, false", c.name, got, ok)
+		}
+	}
+}

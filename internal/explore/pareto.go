@@ -1,0 +1,82 @@
+// Package explore is the design-space exploration engine: it expands a
+// parameter lattice (model set x network size x offered rate x buffer depth
+// x multicast knobs) into concrete simulation configurations, evaluates
+// every point through a pluggable evaluator (the service layer injects its
+// result cache; the CLI simulates directly), orders the evaluation by the
+// analytical latency model so the most promising points complete first, and
+// returns the latency/throughput/cost Pareto front with full dominated-point
+// provenance.
+//
+// The paper's central claim is itself a design-space argument — the Quarc
+// beats the Spidergon on collective latency at comparable silicon cost
+// (Table 1, Fig 12) — and this package turns that one-off comparison into a
+// searchable surface: POST /v1/explore serves it, cmd/quarcexplore drives it
+// locally.
+package explore
+
+// Objectives is one candidate's position in the explored objective space.
+// Latency and Cost are minimised, Throughput is maximised. A point whose
+// silicon cost is unknown (its model has no calibrated switch model) carries
+// Cost = +Inf: it can never win a comparison on the cost axis, but it still
+// competes — and can sit on the front — through latency and throughput
+// alone. Using +Inf rather than treating cost as incomparable keeps
+// dominance a strict partial order (componentwise comparison over the
+// extended reals is transitive), which is what guarantees every excluded
+// point is dominated by a member of the returned front.
+type Objectives struct {
+	Latency    float64 // cycles; minimise (+Inf when the point measured nothing)
+	Throughput float64 // delivered flits/node/cycle; maximise
+	Cost       float64 // switch slices for the whole network; minimise (+Inf when unknown)
+}
+
+// Dominates reports whether a is at least as good as b in every objective
+// and strictly better in at least one. Two points with identical objectives
+// (including two cost-unknown points tied on +Inf) do not dominate each
+// other, so exact ties coexist on the front.
+func Dominates(a, b Objectives) bool {
+	if a.Latency > b.Latency || a.Throughput < b.Throughput || a.Cost > b.Cost {
+		return false
+	}
+	return a.Latency < b.Latency || a.Throughput > b.Throughput || a.Cost < b.Cost
+}
+
+// Front computes the Pareto-optimal subset of objs. It returns the front as
+// sorted input indices, plus per-point provenance: dominatedBy[i] is the
+// smallest front index that dominates point i, or -1 for front members.
+// Because dominance is transitive, every dominated point has such a front
+// witness; and because both outputs are defined purely by pairwise
+// comparisons and input positions, the front set is invariant to input
+// order (a permuted input yields the same set under the permutation).
+func Front(objs []Objectives) (front []int, dominatedBy []int) {
+	n := len(objs)
+	dominatedBy = make([]int, n)
+	onFront := make([]bool, n)
+	for i := range objs {
+		dominatedBy[i] = -1
+		onFront[i] = true
+		for j := range objs {
+			if j != i && Dominates(objs[j], objs[i]) {
+				onFront[i] = false
+				break
+			}
+		}
+	}
+	front = make([]int, 0, n)
+	for i, ok := range onFront {
+		if ok {
+			front = append(front, i)
+		}
+	}
+	for i := range objs {
+		if onFront[i] {
+			continue
+		}
+		for _, f := range front {
+			if Dominates(objs[f], objs[i]) {
+				dominatedBy[i] = f
+				break
+			}
+		}
+	}
+	return front, dominatedBy
+}

@@ -1,0 +1,176 @@
+package explore
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestDominates pins the dominance relation, including the cost-unknown
+// (+Inf) encoding and exact ties.
+func TestDominates(t *testing.T) {
+	inf := math.Inf(1)
+	cases := []struct {
+		name string
+		a, b Objectives
+		want bool
+	}{
+		{"strictly better everywhere", Objectives{1, 2, 3}, Objectives{2, 1, 4}, true},
+		{"better on one, equal elsewhere", Objectives{1, 1, 1}, Objectives{2, 1, 1}, true},
+		{"identical points tie", Objectives{1, 1, 1}, Objectives{1, 1, 1}, false},
+		{"worse on one axis blocks", Objectives{1, 1, 5}, Objectives{2, 1, 4}, false},
+		{"known cost beats unknown, others equal", Objectives{1, 1, 9}, Objectives{1, 1, inf}, true},
+		{"unknown cost never beats known", Objectives{1, 1, inf}, Objectives{1, 1, 9}, false},
+		{"two unknown costs tie on cost", Objectives{1, 1, inf}, Objectives{2, 1, inf}, true},
+		{"unmeasured latency loses", Objectives{inf, 1, 1}, Objectives{1, 1, 1}, false},
+	}
+	for _, c := range cases {
+		if got := Dominates(c.a, c.b); got != c.want {
+			t.Errorf("%s: Dominates(%v, %v) = %v, want %v", c.name, c.a, c.b, got, c.want)
+		}
+	}
+	// Transitivity spot-check across the unknown-cost encoding: a dom b and
+	// b dom c must imply a dom c even when b's cost is unknown.
+	a := Objectives{1, 3, 100}
+	b := Objectives{2, 3, inf}
+	if !Dominates(a, b) {
+		t.Fatal("a should dominate b")
+	}
+	c := Objectives{3, 3, inf}
+	if Dominates(b, c) && !Dominates(a, c) {
+		t.Error("dominance is not transitive through an unknown-cost point")
+	}
+}
+
+// checkFrontInvariants asserts the three Pareto properties on one cloud:
+// no front member is dominated, every excluded point is dominated by its
+// recorded front witness, and the front set is invariant to input order.
+func checkFrontInvariants(t *testing.T, objs []Objectives, rng *rand.Rand) {
+	t.Helper()
+	front, domBy := Front(objs)
+	if len(domBy) != len(objs) {
+		t.Fatalf("dominatedBy has %d entries for %d points", len(domBy), len(objs))
+	}
+	onFront := make(map[int]bool, len(front))
+	prev := -1
+	for _, f := range front {
+		if f <= prev {
+			t.Fatalf("front indices not sorted ascending: %v", front)
+		}
+		prev = f
+		onFront[f] = true
+	}
+	for i := range objs {
+		if onFront[i] {
+			if domBy[i] != -1 {
+				t.Errorf("front point %d has dominatedBy %d, want -1", i, domBy[i])
+			}
+			for j := range objs {
+				if j != i && Dominates(objs[j], objs[i]) {
+					t.Errorf("front point %d (%v) is dominated by %d (%v)", i, objs[i], j, objs[j])
+				}
+			}
+			continue
+		}
+		w := domBy[i]
+		if w < 0 || w >= len(objs) {
+			t.Fatalf("excluded point %d has no front witness (dominatedBy %d)", i, w)
+		}
+		if !onFront[w] {
+			t.Errorf("point %d's witness %d is not on the front", i, w)
+		}
+		if !Dominates(objs[w], objs[i]) {
+			t.Errorf("witness %d (%v) does not dominate point %d (%v)", w, objs[w], i, objs[i])
+		}
+	}
+
+	// Order invariance: permute, recompute, map back.
+	perm := rng.Perm(len(objs))
+	shuffled := make([]Objectives, len(objs))
+	for newIdx, oldIdx := range perm {
+		shuffled[newIdx] = objs[oldIdx]
+	}
+	permFront, _ := Front(shuffled)
+	back := make(map[int]bool, len(permFront))
+	for _, f := range permFront {
+		back[perm[f]] = true
+	}
+	if len(back) != len(onFront) {
+		t.Fatalf("permuted front has %d points, original %d", len(back), len(onFront))
+	}
+	for f := range onFront {
+		if !back[f] {
+			t.Errorf("front point %d missing from the permuted front", f)
+		}
+	}
+}
+
+// randomCloud draws a point cloud with deliberate degeneracies: quantised
+// coordinates (so exact ties and duplicates occur) and a slice of
+// cost-unknown (+Inf) points.
+func randomCloud(rng *rand.Rand, n int) []Objectives {
+	objs := make([]Objectives, n)
+	for i := range objs {
+		objs[i] = Objectives{
+			Latency:    float64(rng.Intn(8)) * 2.5,
+			Throughput: float64(rng.Intn(8)) * 0.05,
+			Cost:       float64(1000 + 500*rng.Intn(6)),
+		}
+		if rng.Intn(4) == 0 {
+			objs[i].Cost = math.Inf(1)
+		}
+		if rng.Intn(16) == 0 {
+			objs[i].Latency = math.Inf(1)
+		}
+	}
+	return objs
+}
+
+// TestFrontProperties is the seeded property test: many random clouds, all
+// three invariants on each.
+func TestFrontProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(20090523))
+	for round := 0; round < 200; round++ {
+		n := 1 + rng.Intn(60)
+		checkFrontInvariants(t, randomCloud(rng, n), rng)
+	}
+}
+
+// TestFrontEdgeCases covers the degenerate shapes the property loop may not
+// emphasise.
+func TestFrontEdgeCases(t *testing.T) {
+	if f, d := Front(nil); len(f) != 0 || len(d) != 0 {
+		t.Errorf("empty input: front %v dominatedBy %v", f, d)
+	}
+	one := []Objectives{{1, 1, 1}}
+	if f, d := Front(one); len(f) != 1 || f[0] != 0 || d[0] != -1 {
+		t.Errorf("single point: front %v dominatedBy %v", f, d)
+	}
+	// All-identical points: everyone ties, everyone is on the front.
+	same := []Objectives{{2, 1, 5}, {2, 1, 5}, {2, 1, 5}}
+	if f, _ := Front(same); len(f) != 3 {
+		t.Errorf("identical points: front %v, want all three", f)
+	}
+	// A chain: only the best survives, and all witnesses point at it.
+	chain := []Objectives{{3, 1, 3}, {2, 1, 2}, {1, 1, 1}}
+	f, d := Front(chain)
+	if len(f) != 1 || f[0] != 2 {
+		t.Fatalf("chain: front %v, want [2]", f)
+	}
+	if d[0] != 2 || d[1] != 2 || d[2] != -1 {
+		t.Errorf("chain: dominatedBy %v, want [2 2 -1]", d)
+	}
+}
+
+// FuzzFront fuzzes the property invariants: the seed corpus covers the
+// interesting shapes and the fuzzer explores the (seed, size) space.
+func FuzzFront(f *testing.F) {
+	f.Add(int64(1), uint8(3))
+	f.Add(int64(20090523), uint8(40))
+	f.Add(int64(-9), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, n uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		objs := randomCloud(rng, int(n)%64+1)
+		checkFrontInvariants(t, objs, rng)
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"quarc/internal/experiments"
+	"quarc/internal/explore"
 	"quarc/internal/traffic"
 )
 
@@ -89,5 +90,77 @@ func TestCanonicalKeysUnchangedAcrossRegistryRefactor(t *testing.T) {
 	mcastPanel.McastFrac, mcastPanel.McastSize = 0.2, 4
 	if PanelKey(mcastPanel, opts) == PanelKey(spec, opts) {
 		t.Error("multicast panel shares the plain panel's cache key")
+	}
+}
+
+// TestExploreKeyGolden pins the explore cache key the same way: the pinned
+// hash is the wire contract for deployed explore cache entries, and the
+// normalisation cases assert that spelling out a default never forks a key
+// while changing any real knob always does.
+func TestExploreKeyGolden(t *testing.T) {
+	spec := explore.Spec{
+		Models: []string{"quarc", "spidergon"},
+		Ns:     []int{16},
+		Rates:  []float64{0.005, 0.01},
+		MsgLen: 16,
+	}
+	opts := experiments.RunOpts{Warmup: 500, Measure: 2500, Drain: 10000,
+		Depth: 4, Seed: 20090523, Replicates: 2}
+	const want = "3fad8fe0b3021645ad7caca785fe1a38e394e7c620fbe3505480daac0ca11d09"
+	if got := ExploreKey(spec, opts); got != want {
+		t.Errorf("explore key drifted\n got %s\nwant %s", got, want)
+	}
+
+	// Spelling out a default must not fork the key: the default message
+	// length, the opts-depth axis, the default cost width and the empty
+	// multicast axis all normalise onto the same bytes.
+	elided := spec
+	elided.MsgLen = 0
+	if ExploreKey(elided, opts) != want {
+		t.Error("eliding the default msglen forks the explore key")
+	}
+	explicitDepth := spec
+	explicitDepth.Depths = []int{4}
+	if ExploreKey(explicitDepth, opts) != want {
+		t.Error("spelling out the default depth axis forks the explore key")
+	}
+	explicitWidth := spec
+	explicitWidth.CostWidth = 32
+	if ExploreKey(explicitWidth, opts) != want {
+		t.Error("spelling out the default cost width forks the explore key")
+	}
+
+	// Any real knob must fork the key (no silent cache aliasing).
+	forks := []struct {
+		name   string
+		mutate func(*explore.Spec, *experiments.RunOpts)
+	}{
+		{"model set", func(s *explore.Spec, _ *experiments.RunOpts) { s.Models = []string{"quarc"} }},
+		{"sizes", func(s *explore.Spec, _ *experiments.RunOpts) { s.Ns = []int{32} }},
+		{"rates", func(s *explore.Spec, _ *experiments.RunOpts) { s.Rates = []float64{0.005} }},
+		{"depth axis", func(s *explore.Spec, _ *experiments.RunOpts) { s.Depths = []int{2, 4} }},
+		{"mcast axis", func(s *explore.Spec, _ *experiments.RunOpts) { s.Mcast = []explore.McastKnob{{Frac: 0.2, Size: 4}} }},
+		{"beta", func(s *explore.Spec, _ *experiments.RunOpts) { s.Beta = 0.05 }},
+		{"pattern", func(s *explore.Spec, _ *experiments.RunOpts) { s.Pattern = traffic.Hotspot; s.HotspotBias = 0.3 }},
+		{"cost width", func(s *explore.Spec, _ *experiments.RunOpts) { s.CostWidth = 64 }},
+		{"seed", func(_ *explore.Spec, o *experiments.RunOpts) { o.Seed = 1 }},
+		{"replicates", func(_ *explore.Spec, o *experiments.RunOpts) { o.Replicates = 3 }},
+		{"cycle budget", func(_ *explore.Spec, o *experiments.RunOpts) { o.Measure = 5000 }},
+	}
+	for _, f := range forks {
+		s2, o2 := spec, opts
+		s2.Models = append([]string(nil), spec.Models...)
+		s2.Ns = append([]int(nil), spec.Ns...)
+		s2.Rates = append([]float64(nil), spec.Rates...)
+		f.mutate(&s2, &o2)
+		if ExploreKey(s2, o2) == want {
+			t.Errorf("changing the %s does not change the explore key", f.name)
+		}
+	}
+
+	// The explore keyspace must be disjoint from runs and panels even for
+	// look-alike requests.
+	if ExploreKey(spec, opts) == PanelKey(experiments.PanelSpec{N: 16, MsgLen: 16, Models: spec.Models, Rates: spec.Rates}, opts) {
+		t.Error("explore key collides with a panel key")
 	}
 }

@@ -1,0 +1,298 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyExplore is an exploration small enough for unit tests: a 2-model
+// lattice over an 8-node network, two rates, a few hundred cycles per point.
+func tinyExplore() ExploreRequest {
+	return ExploreRequest{
+		Models: []string{"quarc", "spidergon"},
+		Ns:     []int{8},
+		Rates:  []float64{0.002, 0.004},
+		MsgLen: 4,
+		Opts:   SweepOpts{Warmup: 100, Measure: 400, Drain: 4000, Seed: 7, Replicates: 2},
+	}
+}
+
+func decodeExplore(t *testing.T, job JobJSON) ExploreResultJSON {
+	t.Helper()
+	if job.State != StateDone {
+		t.Fatalf("job state %s (error %q), want done", job.State, job.Error)
+	}
+	var out ExploreResultJSON
+	if err := json.Unmarshal(job.Result, &out); err != nil {
+		t.Fatalf("decode explore payload: %v\n%s", err, job.Result)
+	}
+	return out
+}
+
+func TestExploreEndpoint(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 2})
+	job := submitWait(t, ts, "/v1/explore", tinyExplore())
+	out := decodeExplore(t, job)
+
+	if out.LatticePoints != 4 || len(out.Points) != 4 {
+		t.Fatalf("lattice has %d/%d points, want 4", out.LatticePoints, len(out.Points))
+	}
+	if len(out.Front) == 0 {
+		t.Fatal("empty Pareto front")
+	}
+	onFront := map[int]bool{}
+	for _, i := range out.Front {
+		if i < 0 || i >= len(out.Points) {
+			t.Fatalf("front index %d out of range", i)
+		}
+		onFront[i] = true
+	}
+	for i, p := range out.Points {
+		if p.OnFront != onFront[i] {
+			t.Errorf("point %d on_front=%v but front list says %v", i, p.OnFront, onFront[i])
+		}
+		if p.OnFront && p.DominatedBy != nil {
+			t.Errorf("front point %d carries dominated_by %d", i, *p.DominatedBy)
+		}
+		if !p.OnFront {
+			if p.DominatedBy == nil {
+				t.Errorf("dominated point %d has no witness", i)
+			} else if !onFront[*p.DominatedBy] {
+				t.Errorf("point %d's witness %d is not on the front", i, *p.DominatedBy)
+			}
+		}
+		// Both lattice models have calibrated switch models.
+		if !p.CostKnown || p.CostSlices <= 0 {
+			t.Errorf("point %d (%s): cost_known=%v slices=%d", i, p.Model, p.CostKnown, p.CostSlices)
+		}
+		if p.Result.N != 8 || p.Result.Topo != p.Model {
+			t.Errorf("point %d embeds result for %s/%d, want %s/8", i, p.Result.Topo, p.Result.N, p.Model)
+		}
+	}
+	if out.Replicates != 2 || out.CostWidth != 32 || out.MsgLen != 4 {
+		t.Errorf("normalised echo wrong: %+v", out)
+	}
+	// The payload must never leak execution provenance.
+	if bytes.Contains(job.Result, []byte(`"cached"`)) {
+		t.Error("explore payload contains a cached flag; payloads must be pure functions of the request")
+	}
+	snap := svc.Snapshot()
+	if snap.ExplorePointsExpanded != 4 {
+		t.Errorf("ExplorePointsExpanded %d, want 4", snap.ExplorePointsExpanded)
+	}
+	if snap.PointsSimulated != 8 { // 4 points x 2 replicates
+		t.Errorf("PointsSimulated %d, want 8", snap.PointsSimulated)
+	}
+}
+
+// TestExploreRepeatServedFromCacheWithZeroSimulation is the acceptance
+// criterion: an identical re-POST answers from the cache with zero points
+// re-simulated, byte-identical to the first payload.
+func TestExploreRepeatServedFromCacheWithZeroSimulation(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 2})
+	first := submitWait(t, ts, "/v1/explore", tinyExplore())
+	decodeExplore(t, first)
+	before := svc.Snapshot()
+
+	second := submitWait(t, ts, "/v1/explore", tinyExplore())
+	decodeExplore(t, second)
+	if !second.Cached {
+		t.Error("identical re-POST not served from cache")
+	}
+	if !bytes.Equal(first.Result, second.Result) {
+		t.Error("cached explore payload differs from the original bytes")
+	}
+	after := svc.Snapshot()
+	if after.PointsSimulated != before.PointsSimulated {
+		t.Errorf("re-POST simulated %d points, want 0", after.PointsSimulated-before.PointsSimulated)
+	}
+	if after.CachedResponses != before.CachedResponses+1 {
+		t.Errorf("CachedResponses went %d -> %d, want +1", before.CachedResponses, after.CachedResponses)
+	}
+}
+
+// TestExploreOverlapHitsPerPointCache submits a second lattice overlapping
+// the first on one rate: the shared points must be answered from the
+// per-point cache (counted, and flagged in the progress events) while only
+// the new points simulate.
+func TestExploreOverlapHitsPerPointCache(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 2})
+	submitWait(t, ts, "/v1/explore", tinyExplore())
+	before := svc.Snapshot()
+
+	overlap := tinyExplore()
+	overlap.Rates = []float64{0.004, 0.006} // 0.004 x 2 models already cached
+	job := submitWait(t, ts, "/v1/explore", overlap)
+	out := decodeExplore(t, job)
+	if len(out.Points) != 4 {
+		t.Fatalf("overlap lattice has %d points, want 4", len(out.Points))
+	}
+	after := svc.Snapshot()
+	if got := after.ExplorePointsCacheHit - before.ExplorePointsCacheHit; got != 2 {
+		t.Errorf("per-point cache hits %d, want 2", got)
+	}
+	if got := after.PointsSimulated - before.PointsSimulated; got != 4 { // 2 new points x 2 replicates
+		t.Errorf("overlap simulated %d replicates, want 4", got)
+	}
+
+	// The cached points are flagged in the NDJSON progress stream.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + job.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	cached, points := 0, 0
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var ev Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", line, err)
+		}
+		if ev.Type == "point" {
+			points++
+			if ev.Cached {
+				cached++
+			}
+		}
+	}
+	if points != 4 || cached != 2 {
+		t.Errorf("event stream has %d point events (%d cached), want 4 and 2", points, cached)
+	}
+}
+
+// TestExploreSharesCacheWithRuns asserts the per-point keys are the exact
+// run keys: after an explore, an identical single-configuration POST
+// /v1/runs answers from the cache without simulating.
+func TestExploreSharesCacheWithRuns(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 2})
+	submitWait(t, ts, "/v1/explore", tinyExplore())
+	before := svc.Snapshot()
+
+	run := RunRequest{Topo: "spidergon", N: 8, MsgLen: 4, Rate: 0.004,
+		Warmup: 100, Measure: 400, Drain: 4000, Seed: 7, Replicates: 2}
+	job := submitWait(t, ts, "/v1/runs", run)
+	if job.State != StateDone {
+		t.Fatalf("run state %s: %s", job.State, job.Error)
+	}
+	if !job.Cached {
+		t.Error("run identical to an explored point was not served from cache")
+	}
+	after := svc.Snapshot()
+	if after.PointsSimulated != before.PointsSimulated {
+		t.Error("run re-simulated a point the explore already computed")
+	}
+	var rr RunResult
+	if err := json.Unmarshal(job.Result, &rr); err != nil {
+		t.Fatalf("decode run payload: %v", err)
+	}
+	if rr.Result.Topo != "spidergon" || rr.Result.Rate != 0.004 || len(rr.Replicates) != 2 {
+		t.Errorf("cached run payload wrong: %+v", rr.Result)
+	}
+}
+
+func TestExploreValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	cases := []struct {
+		name string
+		body any
+		want string
+	}{
+		{"empty lattice", ExploreRequest{}, "empty lattice"},
+		{"unknown model", ExploreRequest{Models: []string{"hypercube"}, Ns: []int{8}, Rates: []float64{0.01}}, "unknown model"},
+		{"over the lattice cap", ExploreRequest{
+			Models: []string{"quarc", "spidergon"}, Ns: []int{8, 12, 16, 20, 24, 28, 32, 36},
+			Rates: make([]float64, 64), Depths: []int{2, 4, 8},
+		}, "lattice expands to 3072 points, exceeding the limit 2048"},
+		{"all sizes invalid", ExploreRequest{Models: []string{"quarc"}, Ns: []int{7}, Rates: []float64{0.01}}, "0 valid points"},
+		{"points opt meaningless", ExploreRequest{Models: []string{"quarc"}, Ns: []int{8}, Rates: []float64{0.01},
+			Opts: SweepOpts{Points: 5}}, "does not apply"},
+		{"duplicate model", ExploreRequest{Models: []string{"quarc", "quarc"}, Ns: []int{8}, Rates: []float64{0.01}}, "duplicate model"},
+		{"bad mcast", ExploreRequest{Models: []string{"quarc"}, Ns: []int{8}, Rates: []float64{0.01},
+			Mcast: []McastJSON{{Frac: 0.2, Size: 1}}}, "at least 2"},
+		{"unknown field", map[string]any{"models": []string{"quarc"}, "lattice": true}, "unknown field"},
+	}
+	for _, c := range cases {
+		body := c.body
+		if req, ok := body.(ExploreRequest); ok && len(req.Rates) == 64 {
+			for i := range req.Rates {
+				req.Rates[i] = 0.001 * float64(i+1)
+			}
+			body = req
+		}
+		resp, data := postJSON(t, ts.URL+"/v1/explore", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %s, want 400 (%s)", c.name, resp.Status, data)
+			continue
+		}
+		if !strings.Contains(string(data), c.want) {
+			t.Errorf("%s: error %s does not mention %q", c.name, data, c.want)
+		}
+	}
+}
+
+func TestExploreCancellation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	// Big enough that it cannot finish before the cancel lands.
+	big := ExploreRequest{
+		Models: []string{"quarc", "spidergon"},
+		Ns:     []int{32, 64},
+		Rates:  []float64{0.002, 0.004, 0.008, 0.016},
+		Opts:   SweepOpts{Warmup: 5000, Measure: 100000, Drain: 200000, Seed: 7},
+	}
+	resp, data := postJSON(t, ts.URL+"/v1/explore", big)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %s: %s", resp.Status, data)
+	}
+	var job JobJSON
+	if err := json.Unmarshal(data, &job); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/jobs/"+job.ID+"/cancel", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: %s", resp.Status)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		r, b := postJSONGet(t, ts.URL+"/v1/jobs/"+job.ID+"?wait=1")
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("poll: %s", r.Status)
+		}
+		if err := json.Unmarshal(b, &job); err != nil {
+			t.Fatal(err)
+		}
+		if State(job.State).terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job still %s after cancel", job.State)
+		}
+	}
+	if job.State != StateCancelled {
+		t.Fatalf("job state %s, want cancelled", job.State)
+	}
+	if len(job.Result) != 0 {
+		t.Error("cancelled explore carries a result payload")
+	}
+}
+
+// postJSONGet is a GET that returns status and body (the poll loop above).
+func postJSONGet(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"quarc/internal/experiments"
+	"quarc/internal/explore"
 )
 
 // State is a job's lifecycle position.
@@ -47,8 +48,9 @@ type Event struct {
 // jobWork is the parsed, validated request a job executes — exactly one of
 // the fields is set.
 type jobWork struct {
-	run   *runWork
-	panel *panelWork
+	run     *runWork
+	panel   *panelWork
+	explore *exploreWork
 }
 
 type runWork struct {
@@ -62,12 +64,22 @@ type panelWork struct {
 	opts experiments.RunOpts
 }
 
+type exploreWork struct {
+	spec explore.Spec
+	opts experiments.RunOpts
+	// points and deduped are the validation-time expansion's lattice size and
+	// duplicate count (the expansion is deterministic, so execution re-derives
+	// the identical lattice).
+	points  int
+	deduped int
+}
+
 // Job is one submitted request and its lifecycle. All mutable fields are
 // guarded by mu; changed is closed and replaced on every mutation so
 // streaming subscribers can wait without polling.
 type Job struct {
 	ID      string          `json:"id"`
-	Kind    string          `json:"kind"` // "run" | "panel"
+	Kind    string          `json:"kind"` // "run" | "panel" | "explore"
 	Key     string          `json:"key"`  // canonical cache key
 	Request json.RawMessage `json:"-"`
 
@@ -158,9 +170,12 @@ func (j *Job) setTotal(total int) {
 // emitted; progress stays observable through the job snapshot's done/total.
 const maxJobEvents = 4096
 
-// pointDone appends a sweep-point progress event. Called concurrently from
-// the sweep engine's worker goroutines.
-func (j *Job) pointDone(pd experiments.PointDone) {
+// pointDone appends a sweep-point progress event; cached marks points an
+// explore evaluator answered from the result cache instead of simulating
+// (execution provenance lives only in the event stream and metrics, never in
+// the canonical payload). Called concurrently from the sweep engine's worker
+// goroutines.
+func (j *Job) pointDone(pd experiments.PointDone, cached bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.done++
@@ -172,7 +187,7 @@ func (j *Job) pointDone(pd experiments.PointDone) {
 		j.events = append(j.events, Event{
 			Type: "point", Done: j.done, Total: j.total,
 			Topo: pd.Model, Rate: pd.Rate, Rep: pd.Replicate,
-			UnicastMean: pd.Result.UnicastMean,
+			UnicastMean: pd.Result.UnicastMean, Cached: cached,
 		})
 	case len(j.events) == maxJobEvents:
 		j.events = append(j.events, Event{Type: "truncated", Done: j.done, Total: j.total})

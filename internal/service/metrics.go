@@ -21,6 +21,12 @@ type Metrics struct {
 	pointsSim      atomic.Uint64
 	cyclesSim      atomic.Uint64
 	cachedResponse atomic.Uint64
+	// Design-space exploration counters: lattice points expanded into jobs,
+	// duplicate points collapsed at expansion, and points answered from the
+	// per-point result cache instead of simulating.
+	explorePointsExpanded atomic.Uint64
+	explorePointsDeduped  atomic.Uint64
+	explorePointsCacheHit atomic.Uint64
 }
 
 // NewMetrics starts the uptime clock.
@@ -29,21 +35,24 @@ func NewMetrics() *Metrics { return &Metrics{start: time.Now()} }
 // MetricsSnapshot is a consistent-enough copy of the counters for tests and
 // the /metrics endpoint.
 type MetricsSnapshot struct {
-	UptimeSeconds   float64
-	JobsAccepted    uint64
-	JobsDone        uint64
-	JobsFailed      uint64
-	JobsCancelled   uint64
-	JobsRejected    uint64
-	JobsCoalesced   uint64
-	CachedResponses uint64
-	PointsSimulated uint64
-	CyclesSimulated uint64
-	CacheHits       uint64
-	CacheMisses     uint64
-	CacheEntries    int
-	QueueDepth      int
-	JobsRunning     int
+	UptimeSeconds         float64
+	JobsAccepted          uint64
+	JobsDone              uint64
+	JobsFailed            uint64
+	JobsCancelled         uint64
+	JobsRejected          uint64
+	JobsCoalesced         uint64
+	CachedResponses       uint64
+	PointsSimulated       uint64
+	CyclesSimulated       uint64
+	ExplorePointsExpanded uint64
+	ExplorePointsDeduped  uint64
+	ExplorePointsCacheHit uint64
+	CacheHits             uint64
+	CacheMisses           uint64
+	CacheEntries          int
+	QueueDepth            int
+	JobsRunning           int
 }
 
 // CyclesPerSecond is the lifetime average simulation throughput.
@@ -87,5 +96,8 @@ func (m MetricsSnapshot) writeProm(w io.Writer) {
 	g("quarcd_cache_hit_rate", "Lifetime cache hit fraction.", m.HitRate())
 	c("quarcd_points_simulated_total", "Sweep design points simulated.", m.PointsSimulated)
 	c("quarcd_cycles_simulated_total", "Fabric cycles simulated.", m.CyclesSimulated)
+	c("quarcd_explore_points_expanded_total", "Lattice points expanded by explore jobs.", m.ExplorePointsExpanded)
+	c("quarcd_explore_points_deduped_total", "Duplicate lattice points collapsed at explore expansion.", m.ExplorePointsDeduped)
+	c("quarcd_explore_points_cache_hit_total", "Explore lattice points answered from the per-point result cache.", m.ExplorePointsCacheHit)
 	g("quarcd_cycles_per_second", "Lifetime average simulated cycles per wall-clock second.", m.CyclesPerSecond())
 }

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"quarc/internal/experiments"
+	"quarc/internal/explore"
 )
 
 // Config sizes a Server.
@@ -89,6 +90,7 @@ func New(cfg Config) *Server {
 	s.sched = NewScheduler(cfg.Workers, cfg.QueueCap, s.execute)
 	s.mux.HandleFunc("/v1/runs", s.handleRuns)
 	s.mux.HandleFunc("/v1/panels", s.handlePanels)
+	s.mux.HandleFunc("/v1/explore", s.handleExplore)
 	s.mux.HandleFunc("/v1/models", s.handleModels)
 	s.mux.HandleFunc("/v1/jobs", s.handleJobList)
 	s.mux.HandleFunc("/v1/jobs/", s.handleJob)
@@ -104,21 +106,24 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) Snapshot() MetricsSnapshot {
 	hits, misses := s.cache.Stats()
 	return MetricsSnapshot{
-		UptimeSeconds:   time.Since(s.metrics.start).Seconds(),
-		JobsAccepted:    s.metrics.jobsAccepted.Load(),
-		JobsDone:        s.metrics.jobsDone.Load(),
-		JobsFailed:      s.metrics.jobsFailed.Load(),
-		JobsCancelled:   s.metrics.jobsCancelled.Load(),
-		JobsRejected:    s.metrics.jobsRejected.Load(),
-		JobsCoalesced:   s.metrics.jobsCoalesced.Load(),
-		CachedResponses: s.metrics.cachedResponse.Load(),
-		PointsSimulated: s.metrics.pointsSim.Load(),
-		CyclesSimulated: s.metrics.cyclesSim.Load(),
-		CacheHits:       hits,
-		CacheMisses:     misses,
-		CacheEntries:    s.cache.Len(),
-		QueueDepth:      s.sched.Depth(),
-		JobsRunning:     s.sched.Running(),
+		UptimeSeconds:         time.Since(s.metrics.start).Seconds(),
+		JobsAccepted:          s.metrics.jobsAccepted.Load(),
+		JobsDone:              s.metrics.jobsDone.Load(),
+		JobsFailed:            s.metrics.jobsFailed.Load(),
+		JobsCancelled:         s.metrics.jobsCancelled.Load(),
+		JobsRejected:          s.metrics.jobsRejected.Load(),
+		JobsCoalesced:         s.metrics.jobsCoalesced.Load(),
+		CachedResponses:       s.metrics.cachedResponse.Load(),
+		PointsSimulated:       s.metrics.pointsSim.Load(),
+		CyclesSimulated:       s.metrics.cyclesSim.Load(),
+		ExplorePointsExpanded: s.metrics.explorePointsExpanded.Load(),
+		ExplorePointsDeduped:  s.metrics.explorePointsDeduped.Load(),
+		ExplorePointsCacheHit: s.metrics.explorePointsCacheHit.Load(),
+		CacheHits:             hits,
+		CacheMisses:           misses,
+		CacheEntries:          s.cache.Len(),
+		QueueDepth:            s.sched.Depth(),
+		JobsRunning:           s.sched.Running(),
 	}
 }
 
@@ -180,7 +185,7 @@ func (s *Server) execute(j *Job) {
 	s.log.Printf("job %s %s key=%.12s running", j.ID, j.Kind, j.Key)
 
 	onPoint := func(pd experiments.PointDone) {
-		j.pointDone(pd)
+		j.pointDone(pd, false)
 		s.metrics.pointsSim.Add(1)
 		s.metrics.cyclesSim.Add(uint64(pd.Result.Cycles))
 	}
@@ -207,6 +212,18 @@ func (s *Server) execute(j *Job) {
 		if err == nil {
 			payload = EncodePanel(pr)
 		}
+	case j.work.explore != nil:
+		w := j.work.explore
+		j.setTotal(w.points)
+		s.metrics.explorePointsExpanded.Add(uint64(w.points))
+		s.metrics.explorePointsDeduped.Add(uint64(w.deduped))
+		var oc explore.Outcome
+		oc, err = explore.Run(ctx, w.spec, w.opts, w.opts.Workers, s.exploreEvaluator(w), func(i int, p explore.Point, res experiments.Result, cached bool) {
+			j.pointDone(experiments.PointDone{Index: i, Total: w.points, Model: p.Model, Rate: p.Rate, Result: res}, cached)
+		})
+		if err == nil {
+			payload = EncodeExplore(w.spec, w.opts, oc)
+		}
 	default:
 		err = fmt.Errorf("job has no work")
 	}
@@ -227,6 +244,36 @@ func (s *Server) execute(j *Job) {
 	default:
 		j.setState(StateFailed, err.Error())
 		s.log.Printf("job %s failed: %v", j.ID, err)
+	}
+}
+
+// exploreEvaluator builds the cache-through evaluator an explore job fans
+// its lattice points through: each point is content-addressed under the
+// exact run key POST /v1/runs would use for the same configuration, so
+// explore points, single runs and overlapping explores all share cache
+// entries. A probe hit re-attaches the point's configuration to the cached
+// bytes; a miss simulates and stores the run payload for the next request
+// of either kind.
+func (s *Server) exploreEvaluator(w *exploreWork) explore.Evaluator {
+	return func(ctx context.Context, p explore.Point) (experiments.Result, bool, error) {
+		key := RunKey(p.Cfg, w.opts.Replicates)
+		if b, ok := s.cache.Probe(key); ok {
+			if res, ok := decodeRunResult(b, p.Cfg); ok {
+				s.metrics.explorePointsCacheHit.Add(1)
+				return res, true, nil
+			}
+		}
+		agg, reps, err := experiments.RunReplicatedContext(ctx, p.Cfg, w.opts.Replicates, 1, func(pd experiments.PointDone) {
+			s.metrics.pointsSim.Add(1)
+			s.metrics.cyclesSim.Add(uint64(pd.Result.Cycles))
+		})
+		if err != nil {
+			return experiments.Result{}, false, err
+		}
+		if b, merr := json.Marshal(EncodeRun(agg, reps)); merr == nil {
+			s.cache.Put(key, b)
+		}
+		return agg, false, nil
 	}
 }
 
@@ -402,6 +449,26 @@ func (s *Server) handlePanels(w http.ResponseWriter, r *http.Request) {
 	}
 	work := jobWork{panel: &panelWork{spec: spec, opts: opts}}
 	s.submit(w, r, "panel", PanelKey(spec, opts), raw, work)
+}
+
+// handleExplore accepts POST /v1/explore: a design-space exploration over a
+// parameter lattice, answered with the latency/throughput/cost Pareto front.
+func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	raw, req, ok := decodeBody[ExploreRequest](w, r)
+	if !ok {
+		return
+	}
+	spec, opts, exp, err := req.SpecOpts()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	work := jobWork{explore: &exploreWork{spec: spec, opts: opts, points: len(exp.Points), deduped: exp.Deduped}}
+	s.submit(w, r, "explore", ExploreKey(spec, opts), raw, work)
 }
 
 // handleModels serves GET /v1/models: the registered network models, their
