@@ -10,9 +10,17 @@
 // identical uncached request arriving while its twin is queued or running
 // coalesces onto it instead of simulating twice.
 //
+// With -data-dir the daemon is durable: finished results persist to a
+// content-addressed, byte-bounded disk store and every job's event stream
+// to an append-only journal, so a restarted (even SIGKILLed) daemon serves
+// previous results byte-identically with zero points re-simulated, replays
+// event streams across restarts, and re-enqueues jobs that were queued or
+// running when it died.
+//
 // Examples:
 //
 //	quarcd -addr :8080
+//	quarcd -addr :8080 -data-dir /var/lib/quarcd
 //	curl -s localhost:8080/v1/models
 //	curl -s localhost:8080/v1/runs?wait=1 -d '{"n":16,"rate":0.01,"beta":0.05}'
 //	curl -s localhost:8080/v1/runs?wait=1 -d '{"topo":"ring","n":16,"rate":0.005}'
@@ -41,7 +49,9 @@ func main() {
 		addr         = flag.String("addr", ":8080", "listen address")
 		workers      = flag.Int("workers", 2, "jobs executing concurrently (each sweep additionally fans across its own goroutines)")
 		queueCap     = flag.Int("queue", 256, "max queued jobs before submissions get 503")
-		cacheEntries = flag.Int("cache", 1024, "result-cache capacity (entries)")
+		cacheBytes   = flag.Int64("cache-bytes", 64<<20, "in-memory result-cache budget (payload bytes)")
+		dataDir      = flag.String("data-dir", "", "durability directory (empty = fully in-memory)")
+		storeBytes   = flag.Int64("store-bytes", 1<<30, "on-disk result-store budget (payload bytes; needs -data-dir)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to finish queued and running jobs on shutdown")
 		quiet        = flag.Bool("quiet", false, "suppress per-job log lines")
 	)
@@ -52,15 +62,23 @@ func main() {
 	if *quiet {
 		jobLog = nil
 	}
-	svc := service.New(service.Config{
-		Workers: *workers, QueueCap: *queueCap, CacheEntries: *cacheEntries, Log: jobLog,
+	svc, err := service.New(service.Config{
+		Workers: *workers, QueueCap: *queueCap, CacheBytes: *cacheBytes,
+		DataDir: *dataDir, StoreBytes: *storeBytes, Log: jobLog,
 	})
+	if err != nil {
+		logger.Fatalf("init: %v", err)
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	logger.Printf("listening on %s (%d executors, queue %d, cache %d entries)",
-		*addr, *workers, *queueCap, *cacheEntries)
+	durable := "in-memory only"
+	if *dataDir != "" {
+		durable = "data dir " + *dataDir
+	}
+	logger.Printf("listening on %s (%d executors, queue %d, cache %d bytes, %s)",
+		*addr, *workers, *queueCap, *cacheBytes, durable)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

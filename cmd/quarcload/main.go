@@ -5,14 +5,23 @@
 // latency percentiles, cache-hit and success rates. It exits non-zero unless
 // every request succeeded, so CI can use a burst as a serving smoke test.
 //
+// With -follow it is instead a reconnect-and-replay event tailer: it streams
+// one job's NDJSON events (GET /v1/jobs/{id}/events), and on any broken
+// connection reconnects with ?from=<events seen so far>, so every event is
+// printed exactly once across disconnects — and, with a durable daemon,
+// across daemon restarts. It exits 0 when the job ends done, non-zero
+// otherwise.
+//
 // Examples:
 //
 //	quarcload -addr http://127.0.0.1:8080 -n 200 -c 8
 //	quarcload -addr http://127.0.0.1:8080 -n 50 -c 4 -cached 0
 //	quarcload -addr http://127.0.0.1:8080 -model ring -n 100
+//	quarcload -addr http://127.0.0.1:8080 -follow j000003
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -44,8 +53,12 @@ func main() {
 		measure = flag.Int64("measure", 1000, "measured cycles per request")
 		timeout = flag.Duration("timeout", 60*time.Second, "per-request timeout")
 		ready   = flag.Duration("ready-timeout", 10*time.Second, "how long to wait for the daemon to answer /healthz")
+		follow  = flag.String("follow", "", "tail one job's event stream (reconnect-and-replay) instead of generating load")
 	)
 	flag.Parse()
+	if *follow != "" {
+		os.Exit(followJob(*addr, *follow, *ready))
+	}
 	if *total < 1 || *conc < 1 || *hotSeeds < 1 {
 		fmt.Fprintln(os.Stderr, "quarcload: -n, -c and -hot-seeds must be positive")
 		os.Exit(2)
@@ -194,6 +207,62 @@ func checkModel(client *http.Client, addr, name string) error {
 		names = append(names, m.Name)
 	}
 	return fmt.Errorf("unknown model %q (daemon offers: %s)", name, strings.Join(names, ", "))
+}
+
+// followJob tails one job's NDJSON event stream to stdout, reconnecting
+// with ?from=<events seen> whenever the connection breaks — a network blip,
+// a proxy timeout, or a durable daemon restarting — so every event prints
+// exactly once across any number of reconnects. Returns the exit code: 0
+// when the job ends done, 1 when it fails, is cancelled, or disappears.
+func followJob(addr, id string, ready time.Duration) int {
+	// No client timeout: the stream is long-lived by design and reconnection
+	// handles every failure mode a deadline would.
+	client := &http.Client{}
+	seen := 0
+	var last service.State
+	for {
+		if err := waitReady(client, addr, ready); err != nil {
+			fmt.Fprintf(os.Stderr, "quarcload: daemon not ready: %v\n", err)
+			return 1
+		}
+		resp, err := client.Get(fmt.Sprintf("%s/v1/jobs/%s/events?from=%d", addr, id, seen))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quarcload: connect: %v (reconnecting)\n", err)
+			time.Sleep(500 * time.Millisecond)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			// Recovery runs before the daemon listens, so a 404 is
+			// authoritative: the job is gone, not still booting.
+			fmt.Fprintf(os.Stderr, "quarcload: %s: %s\n", resp.Status, bytes.TrimSpace(body))
+			return 1
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+		for sc.Scan() {
+			line := sc.Bytes()
+			var e service.Event
+			if err := json.Unmarshal(line, &e); err != nil {
+				continue // torn tail of a dying connection; resume from seen
+			}
+			seen++
+			fmt.Printf("%s\n", line)
+			if e.Type == "state" {
+				last = e.State
+			}
+		}
+		resp.Body.Close()
+		switch last {
+		case service.StateDone:
+			return 0
+		case service.StateFailed, service.StateCancelled:
+			return 1
+		}
+		// The stream broke mid-job: reconnect and replay from where it broke.
+		time.Sleep(500 * time.Millisecond)
+	}
 }
 
 // post submits one run with ?wait=1 and reports whether it was served from

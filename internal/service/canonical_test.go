@@ -84,13 +84,13 @@ func TestPanelKeyIgnoresExecutionKnobs(t *testing.T) {
 }
 
 func TestCacheLRU(t *testing.T) {
-	c := NewCache(2)
+	c := NewCache(2) // two one-byte payloads fit, a third evicts
 	c.Put("a", []byte("1"))
 	c.Put("b", []byte("2"))
 	if _, ok := c.Get("a"); !ok { // a is now most recently used
 		t.Fatal("a missing")
 	}
-	c.Put("c", []byte("3")) // evicts b
+	c.Put("c", []byte("3")) // over budget: evicts b, not a
 	if _, ok := c.Get("b"); ok {
 		t.Fatal("b should have been evicted")
 	}
@@ -103,23 +103,33 @@ func TestCacheLRU(t *testing.T) {
 	if c.Len() != 2 {
 		t.Fatalf("len %d", c.Len())
 	}
+	if c.Bytes() != 2 {
+		t.Fatalf("bytes %d, want 2", c.Bytes())
+	}
 	hits, misses := c.Stats()
 	if hits != 3 || misses != 1 {
 		t.Fatalf("hits=%d misses=%d", hits, misses)
 	}
-	c.Put("c", []byte("3b")) // update in place
+	c.Put("c", []byte("3b")) // update in place; a (LRU) pays for the growth
 	if v, _ := c.Get("c"); string(v) != "3b" {
 		t.Fatalf("update lost: %q", v)
+	}
+	if _, ok := c.Probe("a"); ok {
+		t.Fatal("a should have been evicted to fit c's growth")
+	}
+	if c.Bytes() != 2 || c.Len() != 1 {
+		t.Fatalf("bytes=%d len=%d after growth, want 2 and 1", c.Bytes(), c.Len())
 	}
 }
 
 func TestStoreEvictsTerminalJobs(t *testing.T) {
-	s := NewStore(2)
-	a := s.Add("run", "k1", nil, jobWork{}, nil)
+	var evicted []string
+	s := NewStore(2, func(j *Job) { evicted = append(evicted, j.ID) })
+	a := s.Add("run", "k1", nil, jobWork{}, ClassInteractive, nil, nil)
 	a.setState(StateDone, "")
-	b := s.Add("run", "k2", nil, jobWork{}, nil)
+	b := s.Add("run", "k2", nil, jobWork{}, ClassInteractive, nil, nil)
 	_ = b // still queued (live)
-	s.Add("run", "k3", nil, jobWork{}, nil)
+	s.Add("run", "k3", nil, jobWork{}, ClassInteractive, nil, nil)
 	if _, ok := s.Get(a.ID); ok {
 		t.Fatal("terminal job should have been evicted")
 	}
@@ -128,6 +138,9 @@ func TestStoreEvictsTerminalJobs(t *testing.T) {
 	}
 	if got := len(s.List()); got != 2 {
 		t.Fatalf("store holds %d jobs, want 2", got)
+	}
+	if len(evicted) != 1 || evicted[0] != a.ID {
+		t.Fatalf("onEvict saw %v, want [%s]", evicted, a.ID)
 	}
 }
 

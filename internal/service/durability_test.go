@@ -1,0 +1,265 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// quickRun is a sub-second single-point run for durability tests.
+func quickRun() RunRequest {
+	return RunRequest{N: 8, MsgLen: 4, Rate: 0.002, Warmup: 100, Measure: 300, Drain: 3000, Seed: 77}
+}
+
+// A daemon restarted over the same data directory must serve the previous
+// result byte-identically with zero points re-simulated — answered from the
+// disk store through the read-through cache — recover the finished job
+// record, and replay its full event stream.
+func TestRestartServesByteIdenticalResultFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	svc1, ts1 := newTestServer(t, Config{Workers: 1, DataDir: dir})
+	first := submitWait(t, ts1, "/v1/runs", quickRun())
+	if first.State != StateDone || first.Cached {
+		t.Fatalf("first run: state=%s cached=%v (%s)", first.State, first.Cached, first.Error)
+	}
+	if svc1.Snapshot().PointsSimulated == 0 {
+		t.Fatal("first run recorded no simulated points")
+	}
+	ts1.Close()
+	svc1.Close()
+
+	svc2, ts2 := newTestServer(t, Config{Workers: 1, DataDir: dir})
+	if n := svc2.Snapshot().JobsRecovered; n != 1 {
+		t.Fatalf("recovered %d jobs, want 1", n)
+	}
+
+	// The finished job record survived the restart, result included.
+	rec := waitState(t, ts2, first.ID, StateDone, 5*time.Second)
+	if !bytes.Equal(rec.Result, first.Result) {
+		t.Fatalf("recovered job result differs:\nold: %s\nnew: %s", first.Result, rec.Result)
+	}
+
+	// Its event stream replays the full pre-crash prefix.
+	events := collectEvents(t, ts2, first.ID)
+	if len(events) == 0 || events[0].Type != "state" || events[0].State != StateQueued {
+		t.Fatalf("replayed events start with %+v, want queued", events)
+	}
+	last := events[len(events)-1]
+	if last.Type != "state" || last.State != StateDone {
+		t.Fatalf("replayed events end with %+v, want done", last)
+	}
+	var points int
+	for _, e := range events {
+		if e.Type == "point" {
+			points++
+		}
+	}
+	if points != 1 {
+		t.Fatalf("replayed %d point events, want 1", points)
+	}
+
+	// ?from=N resumes mid-stream for reconnecting clients.
+	tail := collectEventsFrom(t, ts2, first.ID, 1)
+	if len(tail) != len(events)-1 {
+		t.Fatalf("from=1 replayed %d events, want %d", len(tail), len(events)-1)
+	}
+	if len(tail) > 0 && tail[len(tail)-1] != events[len(events)-1] {
+		t.Fatal("from=1 tail diverges from the full stream")
+	}
+
+	// The same request is answered byte-identically from disk: no simulation.
+	second := submitWait(t, ts2, "/v1/runs", quickRun())
+	if second.State != StateDone || !second.Cached {
+		t.Fatalf("post-restart run: state=%s cached=%v", second.State, second.Cached)
+	}
+	if !bytes.Equal(second.Result, first.Result) {
+		t.Fatal("post-restart result not byte-identical")
+	}
+	snap := svc2.Snapshot()
+	if snap.PointsSimulated != 0 {
+		t.Fatalf("restart re-simulated %d points, want 0", snap.PointsSimulated)
+	}
+	if snap.StoreHits == 0 {
+		t.Fatal("disk store recorded no read-through hits")
+	}
+	if snap.StoreEntries == 0 || snap.StoreBytes == 0 {
+		t.Fatalf("disk store empty after restart: %+v", snap)
+	}
+}
+
+// collectEventsFrom replays a finished job's NDJSON stream starting at
+// event index n (the ?from=N reconnect path).
+func collectEventsFrom(t *testing.T, ts *httptest.Server, id string, n int) []Event {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s/events?from=%d", ts.URL, id, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var events []Event
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+// A job whose journal ends queued or running (the daemon died mid-job) must
+// be re-validated from its journaled request and re-enqueued at boot,
+// running to completion as if resubmitted.
+func TestCrashedJobReEnqueuedAtBoot(t *testing.T) {
+	dir := t.TempDir()
+	req := quickRun()
+	raw, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := req.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr, err := json.Marshal(journalHeader{
+		Journal: journalMagic, ID: "j000042", Kind: "run", Key: RunKey(cfg, 1),
+		Created: time.Now().UTC().Format(time.RFC3339Nano), Request: raw,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The journal a SIGKILL mid-run leaves behind: header, queued, running —
+	// and no terminal line.
+	journalDir := filepath.Join(dir, "journal")
+	if err := os.MkdirAll(journalDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	content := fmt.Sprintf("%s\n%s\n%s\n", hdr,
+		`{"type":"state","state":"queued"}`, `{"type":"state","state":"running"}`)
+	if err := os.WriteFile(filepath.Join(journalDir, "j000042.ndjson"), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	svc, ts := newTestServer(t, Config{Workers: 1, DataDir: dir})
+	done := waitState(t, ts, "j000042", StateDone, 15*time.Second)
+	if len(done.Result) == 0 {
+		t.Fatal("re-enqueued job finished without a result")
+	}
+	snap := svc.Snapshot()
+	if snap.JobsRecovered != 1 {
+		t.Fatalf("recovered %d jobs, want 1", snap.JobsRecovered)
+	}
+	if snap.PointsSimulated == 0 {
+		t.Fatal("re-enqueued job simulated nothing")
+	}
+	// New submissions never collide with the recovered ID.
+	fresh := submitWait(t, ts, "/v1/runs", RunRequest{
+		N: 8, MsgLen: 4, Rate: 0.002, Warmup: 100, Measure: 300, Drain: 3000, Seed: 78,
+	})
+	if fresh.ID == "j000042" {
+		t.Fatal("fresh job reused the recovered job's ID")
+	}
+	// The journal now carries the whole story: the pre-crash prefix plus the
+	// re-run's events.
+	events := collectEvents(t, ts, "j000042")
+	var queued int
+	for _, e := range events {
+		if e.Type == "state" && e.State == StateQueued {
+			queued++
+		}
+	}
+	if queued != 2 {
+		t.Fatalf("%d queued events after recovery, want 2 (pre-crash + re-enqueue)", queued)
+	}
+}
+
+// An interactive run submitted behind a queued batch panel must overtake
+// it on the single executor: priority scheduling bounds interactive latency
+// under batch load, and the batch job still completes (no starvation).
+func TestInteractiveOvertakesQueuedBatch(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	// A saturated panel occupies the executor for hundreds of milliseconds.
+	slowPanel := func(name string) PanelRequest {
+		return PanelRequest{
+			Figure: "prio", Name: name, N: 16, MsgLen: 16, Beta: 0.05,
+			Rates: []float64{0.2},
+			Opts:  SweepOpts{Warmup: 100, Measure: 40000, Drain: 4000, Seed: 7},
+		}
+	}
+	_, d1 := postJSON(t, ts.URL+"/v1/panels", slowPanel("p1"))
+	var p1 JobJSON
+	if err := json.Unmarshal(d1, &p1); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, ts, p1.ID, StateRunning, 10*time.Second)
+
+	// While p1 runs: queue a second batch panel, then an interactive run.
+	_, d2 := postJSON(t, ts.URL+"/v1/panels", slowPanel("p2"))
+	var p2 JobJSON
+	if err := json.Unmarshal(d2, &p2); err != nil {
+		t.Fatal(err)
+	}
+	_, d3 := postJSON(t, ts.URL+"/v1/runs", quickRun())
+	var run JobJSON
+	if err := json.Unmarshal(d3, &run); err != nil {
+		t.Fatal(err)
+	}
+
+	runDone := waitState(t, ts, run.ID, StateDone, 60*time.Second)
+	p2Done := waitState(t, ts, p2.ID, StateDone, 120*time.Second) // no starvation
+	runStart, err := time.Parse(time.RFC3339Nano, runDone.Started)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2Start, err := time.Parse(time.RFC3339Nano, p2Done.Started)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !runStart.Before(p2Start) {
+		t.Fatalf("interactive run started %s, after batch panel %s: FIFO behaviour, not priority",
+			runDone.Started, p2Done.Started)
+	}
+}
+
+// Queue backpressure answers 503 with a Retry-After hint and counts the
+// rejection.
+func TestQueueFullAnswers503WithRetryAfter(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 1, QueueCap: 1})
+	long := RunRequest{N: 8, MsgLen: 4, Rate: 0.002, Warmup: 100, Measure: 400_000_000, Seed: 50}
+	_, d1 := postJSON(t, ts.URL+"/v1/runs", long)
+	var running JobJSON
+	if err := json.Unmarshal(d1, &running); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, ts, running.ID, StateRunning, 10*time.Second)
+
+	long.Seed = 51 // distinct key: occupies the single queue slot
+	if resp, body := postJSON(t, ts.URL+"/v1/runs", long); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("queue-filling submission: %s: %s", resp.Status, body)
+	}
+	long.Seed = 52 // distinct key: over capacity
+	resp, body := postJSON(t, ts.URL+"/v1/runs", long)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-capacity submission: %s: %s", resp.Status, body)
+	}
+	if got := resp.Header.Get("Retry-After"); got == "" {
+		t.Fatal("503 carries no Retry-After header")
+	}
+	if !bytes.Contains(body, []byte("queue full")) {
+		t.Fatalf("503 body %s does not name the cause", body)
+	}
+	if n := svc.Snapshot().JobsRejected; n != 1 {
+		t.Fatalf("jobs rejected = %d, want 1", n)
+	}
+}

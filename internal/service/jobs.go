@@ -31,7 +31,9 @@ func (s State) terminal() bool {
 // "state" for lifecycle transitions and "point" for sweep-point completions
 // (rep is omitted for replicate 0). Topo carries the canonical registry
 // name of the point's model — including registry-only models with no legacy
-// enum member.
+// enum member. The same encoding is appended line-by-line to the job's
+// on-disk journal, so a replay after a daemon restart is byte-compatible
+// with the live stream.
 type Event struct {
 	Type        string  `json:"type"`
 	State       State   `json:"state,omitempty"`
@@ -83,10 +85,15 @@ type Job struct {
 	Key     string          `json:"key"`  // canonical cache key
 	Request json.RawMessage `json:"-"`
 
-	work jobWork
+	work  jobWork
+	class Class
 	// onTerminal, set at creation, observes the single transition into a
 	// terminal state (for the server's job-outcome counters).
 	onTerminal func(State)
+	// sink, when set, receives every event appended to the in-memory list
+	// (the server's journal hook). It is called with mu held, so events
+	// reach the journal in exactly the order subscribers observe them.
+	sink func(*Job, Event)
 
 	mu        sync.Mutex
 	cancel    context.CancelFunc
@@ -102,16 +109,49 @@ type Job struct {
 	created   time.Time
 	started   time.Time
 	finished  time.Time
+	// journaled marks the job's journal header as written (maintained by
+	// the server's sink, guarded by mu like the rest).
+	journaled bool
 }
 
-func newJob(id, kind, key string, req json.RawMessage, work jobWork, onTerminal func(State)) *Job {
+func newJob(id, kind, key string, req json.RawMessage, work jobWork, class Class, onTerminal func(State), sink func(*Job, Event)) *Job {
 	j := &Job{
 		ID: id, Kind: kind, Key: key, Request: req,
-		work: work, onTerminal: onTerminal, changed: make(chan struct{}),
-		state: StateQueued, created: time.Now(),
+		work: work, class: class, onTerminal: onTerminal, sink: sink,
+		changed: make(chan struct{}),
+		state:   StateQueued, created: time.Now(),
 	}
-	j.events = append(j.events, Event{Type: "state", State: StateQueued})
+	j.appendEventLocked(Event{Type: "state", State: StateQueued})
 	return j
+}
+
+// restoreJob rebuilds a job recovered from its journal: the replayed event
+// prefix, the last journaled state, and progress counters. The caller
+// registers it with Store.addRecovered and, for non-terminal states,
+// re-enqueues it.
+func restoreJob(id, kind, key string, req json.RawMessage, events []Event, st State,
+	cached bool, errMsg string, done, total int, created time.Time,
+	class Class, onTerminal func(State), sink func(*Job, Event)) *Job {
+	if created.IsZero() {
+		created = time.Now()
+	}
+	return &Job{
+		ID: id, Kind: kind, Key: key, Request: req,
+		class: class, onTerminal: onTerminal, sink: sink,
+		changed: make(chan struct{}),
+		state:   st, cached: cached, errMsg: errMsg,
+		events: events, done: done, total: total,
+		created: created, journaled: true,
+	}
+}
+
+// appendEventLocked records an event in the in-memory list and forwards it
+// to the sink (journal); callers hold mu (or own the job exclusively).
+func (j *Job) appendEventLocked(e Event) {
+	j.events = append(j.events, e)
+	if j.sink != nil {
+		j.sink(j, e)
+	}
 }
 
 // notifyLocked wakes every waiter; callers hold mu.
@@ -145,7 +185,7 @@ func (j *Job) setState(s State, errMsg string) bool {
 		j.finished = time.Now()
 	}
 	j.errMsg = errMsg
-	j.events = append(j.events, Event{Type: "state", State: s, Cached: j.cached, Error: errMsg})
+	j.appendEventLocked(Event{Type: "state", State: s, Cached: j.cached, Error: errMsg})
 	j.notifyLocked()
 	terminal := s.terminal()
 	hook := j.onTerminal
@@ -168,6 +208,7 @@ func (j *Job) setTotal(total int) {
 // limit-sized sweep (tens of thousands of points) cannot pin unbounded
 // memory in the store. Beyond the cap a single "truncated" marker is
 // emitted; progress stays observable through the job snapshot's done/total.
+// The journal truncates identically, keeping stream and replay in lockstep.
 const maxJobEvents = 4096
 
 // pointDone appends a sweep-point progress event; cached marks points an
@@ -184,13 +225,13 @@ func (j *Job) pointDone(pd experiments.PointDone, cached bool) {
 	}
 	switch {
 	case len(j.events) < maxJobEvents:
-		j.events = append(j.events, Event{
+		j.appendEventLocked(Event{
 			Type: "point", Done: j.done, Total: j.total,
 			Topo: pd.Model, Rate: pd.Rate, Rep: pd.Replicate,
 			UnicastMean: pd.Result.UnicastMean, Cached: cached,
 		})
 	case len(j.events) == maxJobEvents:
-		j.events = append(j.events, Event{Type: "truncated", Done: j.done, Total: j.total})
+		j.appendEventLocked(Event{Type: "truncated", Done: j.done, Total: j.total})
 	}
 	j.notifyLocked()
 }
@@ -358,33 +399,60 @@ type Store struct {
 	seq   int
 	jobs  map[string]*Job
 	order []string // creation order
+	// onEvict, when set, observes each eviction (the server uses it to
+	// delete the evicted job's journal so journal files track job records).
+	onEvict func(*Job)
 }
 
-// NewStore builds a store retaining at most capacity jobs.
-func NewStore(capacity int) *Store {
+// NewStore builds a store retaining at most capacity jobs; onEvict (may be
+// nil) fires for each evicted job.
+func NewStore(capacity int, onEvict func(*Job)) *Store {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Store{cap: capacity, jobs: make(map[string]*Job)}
+	return &Store{cap: capacity, jobs: make(map[string]*Job), onEvict: onEvict}
 }
 
 // Add registers a new job under a fresh ID. onTerminal, if non-nil, fires
-// once when the job reaches a terminal state.
-func (s *Store) Add(kind, key string, req json.RawMessage, work jobWork, onTerminal func(State)) *Job {
+// once when the job reaches a terminal state; sink, if non-nil, receives
+// every event the job appends (the journal hook).
+func (s *Store) Add(kind, key string, req json.RawMessage, work jobWork, class Class,
+	onTerminal func(State), sink func(*Job, Event)) *Job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.seq++
-	j := newJob(fmt.Sprintf("j%06d", s.seq), kind, key, req, work, onTerminal)
+	j := newJob(fmt.Sprintf("j%06d", s.seq), kind, key, req, work, class, onTerminal, sink)
+	s.registerLocked(j)
+	return j
+}
+
+// addRecovered registers a job rebuilt from its journal under its original
+// ID, advancing the ID sequence past it so new jobs never collide.
+func (s *Store) addRecovered(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int
+	if _, err := fmt.Sscanf(j.ID, "j%d", &n); err == nil && n > s.seq {
+		s.seq = n
+	}
+	s.registerLocked(j)
+}
+
+// registerLocked inserts the job and evicts oldest terminal jobs beyond
+// capacity; live jobs are never dropped, so the store can transiently
+// exceed cap under heavy load. Callers hold mu.
+func (s *Store) registerLocked(j *Job) {
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
-	// Evict oldest terminal jobs beyond capacity; live jobs are never
-	// dropped, so the store can transiently exceed cap under heavy load.
 	for len(s.jobs) > s.cap {
 		evicted := false
 		for i, id := range s.order {
 			if old, ok := s.jobs[id]; ok && old.State().terminal() {
 				delete(s.jobs, id)
 				s.order = append(s.order[:i:i], s.order[i+1:]...)
+				if s.onEvict != nil {
+					s.onEvict(old)
+				}
 				evicted = true
 				break
 			}
@@ -393,7 +461,6 @@ func (s *Store) Add(kind, key string, req json.RawMessage, work jobWork, onTermi
 			break
 		}
 	}
-	return j
 }
 
 // Get returns the job with the given ID.
@@ -415,82 +482,4 @@ func (s *Store) List() []*Job {
 		}
 	}
 	return out
-}
-
-// Scheduler executes jobs on a fixed pool of executor goroutines fed by a
-// bounded queue, so a burst of submissions queues up instead of spawning
-// unbounded concurrent simulations.
-type Scheduler struct {
-	mu      sync.Mutex
-	closed  bool
-	queue   chan *Job
-	wg      sync.WaitGroup
-	running int
-}
-
-// NewScheduler starts workers executor goroutines over a queue of the given
-// capacity; exec runs one job to a terminal state.
-func NewScheduler(workers, queueCap int, exec func(*Job)) *Scheduler {
-	if workers < 1 {
-		workers = 1
-	}
-	if queueCap < 1 {
-		queueCap = 1
-	}
-	s := &Scheduler{queue: make(chan *Job, queueCap)}
-	for w := 0; w < workers; w++ {
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			for j := range s.queue {
-				s.mu.Lock()
-				s.running++
-				s.mu.Unlock()
-				exec(j)
-				s.mu.Lock()
-				s.running--
-				s.mu.Unlock()
-			}
-		}()
-	}
-	return s
-}
-
-// Enqueue submits a job; it fails when the queue is full (backpressure) or
-// the scheduler is draining.
-func (s *Scheduler) Enqueue(j *Job) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return fmt.Errorf("scheduler is shutting down")
-	}
-	select {
-	case s.queue <- j:
-		return nil
-	default:
-		return fmt.Errorf("job queue full (%d pending)", cap(s.queue))
-	}
-}
-
-// Depth returns the number of queued (not yet executing) jobs.
-func (s *Scheduler) Depth() int { return len(s.queue) }
-
-// Running returns the number of jobs currently executing.
-func (s *Scheduler) Running() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.running
-}
-
-// Close stops intake and, once the already-queued jobs have drained, stops
-// the executors. It blocks until they exit; bound it by cancelling the jobs'
-// contexts first if a deadline matters.
-func (s *Scheduler) Close() {
-	s.mu.Lock()
-	if !s.closed {
-		s.closed = true
-		close(s.queue)
-	}
-	s.mu.Unlock()
-	s.wg.Wait()
 }

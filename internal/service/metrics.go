@@ -18,6 +18,8 @@ type Metrics struct {
 	jobsCancelled  atomic.Uint64
 	jobsRejected   atomic.Uint64
 	jobsCoalesced  atomic.Uint64
+	jobsRecovered  atomic.Uint64
+	storeHits      atomic.Uint64
 	pointsSim      atomic.Uint64
 	cyclesSim      atomic.Uint64
 	cachedResponse atomic.Uint64
@@ -42,6 +44,7 @@ type MetricsSnapshot struct {
 	JobsCancelled         uint64
 	JobsRejected          uint64
 	JobsCoalesced         uint64
+	JobsRecovered         uint64
 	CachedResponses       uint64
 	PointsSimulated       uint64
 	CyclesSimulated       uint64
@@ -51,7 +54,14 @@ type MetricsSnapshot struct {
 	CacheHits             uint64
 	CacheMisses           uint64
 	CacheEntries          int
+	CacheBytes            int64
+	StoreHits             uint64
+	StoreEntries          int
+	StoreBytes            int64
+	StoreEvictions        uint64
 	QueueDepth            int
+	QueueInteractive      int
+	QueueBatch            int
 	JobsRunning           int
 }
 
@@ -82,6 +92,8 @@ func (m MetricsSnapshot) writeProm(w io.Writer) {
 	}
 	g("quarcd_uptime_seconds", "Seconds since the daemon started.", m.UptimeSeconds)
 	g("quarcd_queue_depth", "Jobs queued and not yet executing.", float64(m.QueueDepth))
+	g("quarcd_queue_depth_interactive", "Interactive-class jobs queued and not yet executing.", float64(m.QueueInteractive))
+	g("quarcd_queue_depth_batch", "Batch-class jobs queued and not yet executing.", float64(m.QueueBatch))
 	g("quarcd_jobs_running", "Jobs currently executing.", float64(m.JobsRunning))
 	c("quarcd_jobs_accepted_total", "Jobs submitted; each eventually counts done, failed or cancelled.", m.JobsAccepted)
 	c("quarcd_jobs_done_total", "Jobs finished successfully.", m.JobsDone)
@@ -93,7 +105,13 @@ func (m MetricsSnapshot) writeProm(w io.Writer) {
 	c("quarcd_cache_hits_total", "Result-cache lookup hits.", m.CacheHits)
 	c("quarcd_cache_misses_total", "Result-cache lookup misses.", m.CacheMisses)
 	g("quarcd_cache_entries", "Entries resident in the result cache.", float64(m.CacheEntries))
+	g("quarcd_cache_bytes", "Payload bytes resident in the in-memory result cache.", float64(m.CacheBytes))
 	g("quarcd_cache_hit_rate", "Lifetime cache hit fraction.", m.HitRate())
+	c("quarcd_store_hits_total", "Memory-cache misses answered from the disk result store.", m.StoreHits)
+	g("quarcd_store_entries", "Entries resident in the disk result store.", float64(m.StoreEntries))
+	g("quarcd_store_bytes", "Payload bytes resident in the disk result store.", float64(m.StoreBytes))
+	c("quarcd_store_evictions_total", "Disk-store entries evicted to fit the byte budget.", m.StoreEvictions)
+	c("quarcd_jobs_recovered_total", "Job records rebuilt from journals at boot.", m.JobsRecovered)
 	c("quarcd_points_simulated_total", "Sweep design points simulated.", m.PointsSimulated)
 	c("quarcd_cycles_simulated_total", "Fabric cycles simulated.", m.CyclesSimulated)
 	c("quarcd_explore_points_expanded_total", "Lattice points expanded by explore jobs.", m.ExplorePointsExpanded)

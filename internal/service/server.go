@@ -9,12 +9,15 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"quarc/internal/experiments"
 	"quarc/internal/explore"
+	dstore "quarc/internal/store"
 )
 
 // Config sizes a Server.
@@ -24,16 +27,27 @@ type Config struct {
 	Workers int
 	// QueueCap bounds the submission queue; over it, POSTs get 503. 0 means 256.
 	QueueCap int
-	// CacheEntries bounds the LRU result cache. 0 means 1024.
-	CacheEntries int
+	// CacheBytes bounds the in-memory LRU result cache in payload bytes.
+	// 0 means 64 MiB.
+	CacheBytes int64
 	// StoreEntries bounds retained job records. 0 means 4096.
 	StoreEntries int
+	// DataDir, when non-empty, enables durability: results persist to
+	// DataDir/results (content-addressed, byte-bounded by StoreBytes) and
+	// every job's event stream to DataDir/journal, so a restarted daemon
+	// serves previous results byte-identically without re-simulating and
+	// re-enqueues jobs that were queued or running when it died. Empty runs
+	// fully in memory.
+	DataDir string
+	// StoreBytes bounds the on-disk result store in payload bytes. 0 means
+	// 1 GiB.
+	StoreBytes int64
 	// Log receives request and lifecycle lines; nil discards them.
 	Log *log.Logger
 }
 
 // Server is the simulation service: an http.Handler plus the scheduler,
-// store, cache and metrics behind it.
+// store, cache, durability layer and metrics behind it.
 type Server struct {
 	cfg     Config
 	log     *log.Logger
@@ -42,6 +56,12 @@ type Server struct {
 	metrics *Metrics
 	sched   *Scheduler
 	mux     *http.ServeMux
+
+	// disk and journal are the durability tier (nil without a DataDir): the
+	// cache reads through to disk on memory misses and writes through on
+	// fills, and every job event is mirrored to its journal.
+	disk    *dstore.Store
+	journal *dstore.Journal
 
 	// inflight coalesces identical uncached submissions: the first live job
 	// per canonical key is the primary (the one that simulates); later
@@ -59,19 +79,23 @@ type coalesceEntry struct {
 	followers []*Job
 }
 
-// New assembles a server and starts its executor pool.
-func New(cfg Config) *Server {
+// New assembles a server, recovers any journaled jobs from cfg.DataDir, and
+// starts its executor pool.
+func New(cfg Config) (*Server, error) {
 	if cfg.Workers < 1 {
 		cfg.Workers = 2
 	}
 	if cfg.QueueCap < 1 {
 		cfg.QueueCap = 256
 	}
-	if cfg.CacheEntries < 1 {
-		cfg.CacheEntries = 1024
+	if cfg.CacheBytes < 1 {
+		cfg.CacheBytes = 64 << 20
 	}
 	if cfg.StoreEntries < 1 {
 		cfg.StoreEntries = 4096
+	}
+	if cfg.StoreBytes < 1 {
+		cfg.StoreBytes = 1 << 30
 	}
 	lg := cfg.Log
 	if lg == nil {
@@ -80,14 +104,34 @@ func New(cfg Config) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg: cfg, log: lg,
-		store:    NewStore(cfg.StoreEntries),
-		cache:    NewCache(cfg.CacheEntries),
+		cache:    NewCache(cfg.CacheBytes),
 		metrics:  NewMetrics(),
 		mux:      http.NewServeMux(),
 		inflight: make(map[string]*coalesceEntry),
 		baseCtx:  ctx, baseCancel: cancel,
 	}
+	if cfg.DataDir != "" {
+		var err error
+		s.disk, err = dstore.Open(filepath.Join(cfg.DataDir, "results"), cfg.StoreBytes)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.journal, err = dstore.OpenJournal(filepath.Join(cfg.DataDir, "journal"))
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+	}
+	// Evicted job records take their journals with them, so journal files
+	// track the set of retrievable jobs.
+	s.store = NewStore(cfg.StoreEntries, func(j *Job) {
+		if s.journal != nil {
+			s.journal.Remove(j.ID)
+		}
+	})
 	s.sched = NewScheduler(cfg.Workers, cfg.QueueCap, s.execute)
+	s.recoverJobs()
 	s.mux.HandleFunc("/v1/runs", s.handleRuns)
 	s.mux.HandleFunc("/v1/panels", s.handlePanels)
 	s.mux.HandleFunc("/v1/explore", s.handleExplore)
@@ -96,16 +140,59 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/jobs/", s.handleJob)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
-	return s
+	return s, nil
 }
 
 // Handler returns the HTTP surface of the server.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// cacheGet is the client-visible two-tier lookup: memory first, then the
+// disk store (read-through — a disk hit refills the memory tier). Disk hits
+// are what make a restarted daemon answer with zero points re-simulated.
+func (s *Server) cacheGet(key string) ([]byte, bool) {
+	if b, ok := s.cache.Get(key); ok {
+		return b, true
+	}
+	return s.diskGet(key)
+}
+
+// cacheProbe is cacheGet for internal re-checks: a memory absence is not
+// counted as a miss.
+func (s *Server) cacheProbe(key string) ([]byte, bool) {
+	if b, ok := s.cache.Probe(key); ok {
+		return b, true
+	}
+	return s.diskGet(key)
+}
+
+func (s *Server) diskGet(key string) ([]byte, bool) {
+	if s.disk == nil {
+		return nil, false
+	}
+	b, ok := s.disk.Get(key)
+	if !ok {
+		return nil, false
+	}
+	s.metrics.storeHits.Add(1)
+	s.cache.Put(key, b)
+	return b, true
+}
+
+// cachePut writes a finished result through both tiers. A disk write
+// failure costs durability, not the response.
+func (s *Server) cachePut(key string, val []byte) {
+	s.cache.Put(key, val)
+	if s.disk != nil {
+		if err := s.disk.Put(key, val); err != nil {
+			s.log.Printf("store: %v", err)
+		}
+	}
+}
+
 // Snapshot returns the current operational counters.
 func (s *Server) Snapshot() MetricsSnapshot {
 	hits, misses := s.cache.Stats()
-	return MetricsSnapshot{
+	m := MetricsSnapshot{
 		UptimeSeconds:         time.Since(s.metrics.start).Seconds(),
 		JobsAccepted:          s.metrics.jobsAccepted.Load(),
 		JobsDone:              s.metrics.jobsDone.Load(),
@@ -113,6 +200,7 @@ func (s *Server) Snapshot() MetricsSnapshot {
 		JobsCancelled:         s.metrics.jobsCancelled.Load(),
 		JobsRejected:          s.metrics.jobsRejected.Load(),
 		JobsCoalesced:         s.metrics.jobsCoalesced.Load(),
+		JobsRecovered:         s.metrics.jobsRecovered.Load(),
 		CachedResponses:       s.metrics.cachedResponse.Load(),
 		PointsSimulated:       s.metrics.pointsSim.Load(),
 		CyclesSimulated:       s.metrics.cyclesSim.Load(),
@@ -122,38 +210,57 @@ func (s *Server) Snapshot() MetricsSnapshot {
 		CacheHits:             hits,
 		CacheMisses:           misses,
 		CacheEntries:          s.cache.Len(),
+		CacheBytes:            s.cache.Bytes(),
+		StoreHits:             s.metrics.storeHits.Load(),
 		QueueDepth:            s.sched.Depth(),
+		QueueInteractive:      s.sched.DepthClass(ClassInteractive),
+		QueueBatch:            s.sched.DepthClass(ClassBatch),
 		JobsRunning:           s.sched.Running(),
 	}
+	if s.disk != nil {
+		_, _, ev := s.disk.Stats()
+		m.StoreEntries = s.disk.Len()
+		m.StoreBytes = s.disk.Bytes()
+		m.StoreEvictions = ev
+	}
+	return m
 }
 
 // Drain gracefully shuts the service down: intake stops and the executors
 // finish every queued and running job. When ctx expires first, the remaining
-// jobs are cancelled and the drain completes with ctx's error.
+// jobs are cancelled and the drain completes with ctx's error. Either way
+// the journals are flushed before returning.
 func (s *Server) Drain(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		s.sched.Close()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
 		s.baseCancel() // abort in-flight simulations
 		<-done
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	if s.journal != nil {
+		s.journal.CloseAll()
+	}
+	return err
 }
 
-// Close force-stops the service: every live job is cancelled and the
-// executors are waited out.
+// Close force-stops the service: every live job is cancelled, the executors
+// are waited out, and the journals are flushed.
 func (s *Server) Close() {
 	s.baseCancel()
 	for _, j := range s.store.List() {
 		j.Cancel()
 	}
 	s.sched.Close()
+	if s.journal != nil {
+		s.journal.CloseAll()
+	}
 }
 
 // execute runs one job to a terminal state on an executor goroutine.
@@ -172,7 +279,7 @@ func (s *Server) execute(j *Job) {
 	// Re-check the cache at dequeue time: an identical job may have finished
 	// while this one sat in the queue (the back-to-back duplicate pattern a
 	// burst of identical clients produces).
-	if cached, ok := s.cache.Probe(j.Key); ok {
+	if cached, ok := s.cacheProbe(j.Key); ok {
 		if j.finish(cached, true) {
 			s.metrics.cachedResponse.Add(1)
 			s.log.Printf("job %s %s served from cache at dequeue", j.ID, j.Kind)
@@ -235,7 +342,7 @@ func (s *Server) execute(j *Job) {
 			j.setState(StateFailed, merr.Error())
 			return
 		}
-		s.cache.Put(j.Key, b)
+		s.cachePut(j.Key, b)
 		j.finish(b, false)
 		s.log.Printf("job %s done", j.ID)
 	case errors.Is(err, context.Canceled):
@@ -251,13 +358,13 @@ func (s *Server) execute(j *Job) {
 // its lattice points through: each point is content-addressed under the
 // exact run key POST /v1/runs would use for the same configuration, so
 // explore points, single runs and overlapping explores all share cache
-// entries. A probe hit re-attaches the point's configuration to the cached
-// bytes; a miss simulates and stores the run payload for the next request
-// of either kind.
+// entries — including durable ones from before a restart. A probe hit
+// re-attaches the point's configuration to the cached bytes; a miss
+// simulates and stores the run payload for the next request of either kind.
 func (s *Server) exploreEvaluator(w *exploreWork) explore.Evaluator {
 	return func(ctx context.Context, p explore.Point) (experiments.Result, bool, error) {
 		key := RunKey(p.Cfg, w.opts.Replicates)
-		if b, ok := s.cache.Probe(key); ok {
+		if b, ok := s.cacheProbe(key); ok {
 			if res, ok := decodeRunResult(b, p.Cfg); ok {
 				s.metrics.explorePointsCacheHit.Add(1)
 				return res, true, nil
@@ -271,7 +378,7 @@ func (s *Server) exploreEvaluator(w *exploreWork) explore.Evaluator {
 			return experiments.Result{}, false, err
 		}
 		if b, merr := json.Marshal(EncodeRun(agg, reps)); merr == nil {
-			s.cache.Put(key, b)
+			s.cachePut(key, b)
 		}
 		return agg, false, nil
 	}
@@ -292,10 +399,10 @@ func (s *Server) countOutcome(st State) {
 
 // submit registers and schedules (or answers from cache / an identical
 // in-flight job) one parsed request.
-func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind, key string, raw json.RawMessage, work jobWork) {
-	j := s.store.Add(kind, key, raw, work, s.countOutcome)
+func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind, key string, raw json.RawMessage, work jobWork, class Class) {
+	j := s.store.Add(kind, key, raw, work, class, s.countOutcome, s.journalEvent)
 	s.metrics.jobsAccepted.Add(1)
-	if cached, ok := s.cache.Get(key); ok {
+	if cached, ok := s.cacheGet(key); ok {
 		j.finish(cached, true)
 		s.metrics.cachedResponse.Add(1)
 		writeJSON(w, http.StatusOK, j.Snapshot(true))
@@ -318,6 +425,11 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind, key string
 	s.coMu.Unlock()
 	if err := s.sched.Enqueue(j); err != nil {
 		s.failCoalesceChain(j, err)
+		if errors.Is(err, ErrQueueFull) {
+			// Backpressure is transient: tell well-behaved clients when to
+			// come back instead of letting them hammer the queue.
+			w.Header().Set("Retry-After", "1")
+		}
 		httpError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
@@ -423,13 +535,12 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	cfg, err := req.Config()
+	key, work, class, err := buildRun(req)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	work := jobWork{run: &runWork{cfg: cfg, replicates: req.replicates(), workers: req.Workers}}
-	s.submit(w, r, "run", RunKey(cfg, req.replicates()), raw, work)
+	s.submit(w, r, "run", key, raw, work, class)
 }
 
 // handlePanels accepts POST /v1/panels.
@@ -442,13 +553,12 @@ func (s *Server) handlePanels(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	spec, opts, err := req.SpecOpts()
+	key, work, class, err := buildPanel(req)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	work := jobWork{panel: &panelWork{spec: spec, opts: opts}}
-	s.submit(w, r, "panel", PanelKey(spec, opts), raw, work)
+	s.submit(w, r, "panel", key, raw, work, class)
 }
 
 // handleExplore accepts POST /v1/explore: a design-space exploration over a
@@ -462,13 +572,12 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	spec, opts, exp, err := req.SpecOpts()
+	key, work, class, err := buildExplore(req)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	work := jobWork{explore: &exploreWork{spec: spec, opts: opts, points: len(exp.Points), deduped: exp.Deduped}}
-	s.submit(w, r, "explore", ExploreKey(spec, opts), raw, work)
+	s.submit(w, r, "explore", key, raw, work, class)
 }
 
 // handleModels serves GET /v1/models: the registered network models, their
@@ -524,14 +633,24 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 }
 
 // streamEvents replays a job's progress events as NDJSON and follows until
-// the job is terminal or the client goes away.
+// the job is terminal or the client goes away. ?from=N skips the first N
+// events, so a reconnecting client resumes exactly where its last stream
+// broke instead of re-reading (or missing) the prefix.
 func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, j *Job) {
+	n := 0
+	if v := r.URL.Query().Get("from"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 0 {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("invalid from=%q", v))
+			return
+		}
+		n = parsed
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
-	n := 0
 	for {
 		evs, terminal := j.EventsSince(n)
 		for _, e := range evs {

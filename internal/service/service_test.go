@@ -18,7 +18,10 @@ import (
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	svc := New(cfg)
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(svc.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -186,8 +189,10 @@ func TestInFlightDuplicateCoalesces(t *testing.T) {
 	if err := json.Unmarshal(d2, &b); err != nil {
 		t.Fatal(err)
 	}
-	fa := waitState(t, ts, a.ID, StateDone, 30*time.Second)
-	fb := waitState(t, ts, b.ID, StateDone, 30*time.Second)
+	// Generous deadline: the saturated slowRun fixture takes ~3s natively
+	// but >20s under the race detector.
+	fa := waitState(t, ts, a.ID, StateDone, 90*time.Second)
+	fb := waitState(t, ts, b.ID, StateDone, 90*time.Second)
 	if !fb.Cached {
 		t.Fatal("coalesced duplicate not marked cached")
 	}
@@ -255,6 +260,12 @@ func TestMetricsEndpoint(t *testing.T) {
 		"quarcd_jobs_done_total 2",
 		"quarcd_cached_responses_total 1",
 		"quarcd_queue_depth 0",
+		"quarcd_queue_depth_interactive 0",
+		"quarcd_queue_depth_batch 0",
+		"quarcd_cache_bytes ",
+		"quarcd_store_bytes 0",
+		"quarcd_store_evictions_total 0",
+		"quarcd_jobs_recovered_total 0",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q:\n%s", want, text)

@@ -1,0 +1,153 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// idPattern is the accepted journal id shape (the service's job ids).
+var idPattern = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
+
+const journalSuffix = ".ndjson"
+
+// Journal persists one append-only NDJSON file per job. Appends go straight
+// to the kernel (no userspace buffering), so everything appended before a
+// SIGKILL is on record; Replay tolerates a torn final line by returning the
+// longest valid prefix. All methods are safe for concurrent use.
+type Journal struct {
+	dir  string
+	mu   sync.Mutex
+	open map[string]*os.File
+}
+
+// OpenJournal prepares the journal directory.
+func OpenJournal(dir string) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: create %s: %w", dir, err)
+	}
+	return &Journal{dir: dir, open: make(map[string]*os.File)}, nil
+}
+
+func (j *Journal) path(id string) string { return filepath.Join(j.dir, id+journalSuffix) }
+
+// Append writes one line (a JSON document without raw newlines) to the
+// job's journal, opening it in append mode on first use and keeping the
+// handle for subsequent lines.
+func (j *Journal) Append(id string, line []byte) error {
+	if !idPattern.MatchString(id) {
+		return fmt.Errorf("journal: invalid id %q", id)
+	}
+	if bytes.IndexByte(line, '\n') >= 0 {
+		return fmt.Errorf("journal: line for %q contains a newline", id)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	f, ok := j.open[id]
+	if !ok {
+		var err error
+		f, err = os.OpenFile(j.path(id), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			return fmt.Errorf("journal: open %q: %w", id, err)
+		}
+		j.open[id] = f
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("journal: append %q: %w", id, err)
+	}
+	return nil
+}
+
+// CloseJob syncs and releases the job's file handle, keeping the journal on
+// disk. Called when a job reaches a terminal state so live handles stay
+// bounded by the number of live jobs.
+func (j *Journal) CloseJob(id string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if f, ok := j.open[id]; ok {
+		f.Sync()
+		f.Close()
+		delete(j.open, id)
+	}
+}
+
+// CloseAll syncs and releases every open handle (shutdown path).
+func (j *Journal) CloseAll() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for id, f := range j.open {
+		f.Sync()
+		f.Close()
+		delete(j.open, id)
+	}
+}
+
+// Remove deletes a job's journal from disk (and any open handle).
+func (j *Journal) Remove(id string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if f, ok := j.open[id]; ok {
+		f.Close()
+		delete(j.open, id)
+	}
+	os.Remove(j.path(id))
+}
+
+// List returns the ids with a journal on disk, sorted (the service's
+// zero-padded job ids sort in creation order).
+func (j *Journal) List() ([]string, error) {
+	des, err := os.ReadDir(j.dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: scan %s: %w", j.dir, err)
+	}
+	var ids []string
+	for _, de := range des {
+		name := de.Name()
+		if !de.Type().IsRegular() || !strings.HasSuffix(name, journalSuffix) {
+			continue
+		}
+		id := strings.TrimSuffix(name, journalSuffix)
+		if idPattern.MatchString(id) {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// Replay returns the longest valid prefix of the job's journal: complete,
+// newline-terminated lines that parse as JSON, stopping at the first torn
+// or corrupt line. A crash mid-append therefore costs at most the line
+// being written, never the history before it.
+func (j *Journal) Replay(id string) ([][]byte, error) {
+	if !idPattern.MatchString(id) {
+		return nil, fmt.Errorf("journal: invalid id %q", id)
+	}
+	data, err := os.ReadFile(j.path(id))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("journal: read %q: %w", id, err)
+	}
+	var lines [][]byte
+	for len(data) > 0 {
+		i := bytes.IndexByte(data, '\n')
+		if i < 0 {
+			break // torn tail: the append never completed
+		}
+		line := data[:i]
+		if !json.Valid(line) {
+			break // corruption: everything beyond it is untrustworthy
+		}
+		lines = append(lines, append([]byte(nil), line...))
+		data = data[i+1:]
+	}
+	return lines, nil
+}

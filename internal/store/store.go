@@ -1,0 +1,247 @@
+// Package store provides quarcd's durability layer: a content-addressed,
+// disk-backed result store bounded in bytes with LRU-by-access-time
+// eviction, and an append-only NDJSON event journal per job. Both are
+// crash-safe by construction — results become visible only through an
+// atomic write-then-rename, and journal replay stops at the first
+// incomplete or corrupt line — so a daemon killed at any instant reboots
+// into a consistent state: every durable result is byte-identical to the
+// original computation, and every journal replays the longest valid prefix
+// of the events that were streamed before the crash.
+package store
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"sync"
+	"time"
+)
+
+// keyPattern is the only accepted result key shape: the lower-case hex
+// SHA-256 the service layer content-addresses requests with. Anything else
+// in the store directory is foreign and is left alone.
+var keyPattern = regexp.MustCompile(`^[0-9a-f]{64}$`)
+
+const (
+	resultSuffix = ".json"
+	tmpSuffix    = ".json.tmp"
+)
+
+// Store is the disk-backed result store. All methods are safe for
+// concurrent use. Entries are plain files named <key>.json under a single
+// directory; recency is tracked in memory and mirrored to the files'
+// modification times (best effort) so the LRU order survives restarts.
+type Store struct {
+	dir      string
+	maxBytes int64
+
+	mu        sync.Mutex
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	bytes     int64
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type entry struct {
+	key  string
+	size int64
+}
+
+// Open scans dir (creating it if needed) and builds the store over whatever
+// valid entries it holds. The scan is corruption tolerant: half-written
+// *.json.tmp leftovers of a crashed Put are deleted, files that do not look
+// like result entries are ignored, and anything over the byte budget is
+// evicted oldest-access-first before Open returns.
+func Open(dir string, maxBytes int64) (*Store, error) {
+	if maxBytes < 1 {
+		maxBytes = 1
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create %s: %w", dir, err)
+	}
+	s := &Store{
+		dir:      dir,
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: scan %s: %w", dir, err)
+	}
+	type scanned struct {
+		key   string
+		size  int64
+		mtime time.Time
+	}
+	var found []scanned
+	for _, de := range des {
+		name := de.Name()
+		if !de.Type().IsRegular() {
+			continue
+		}
+		if filepath.Ext(name) == ".tmp" {
+			// A Put that crashed before its rename: the entry never became
+			// visible, so the remnant is garbage by definition.
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		key, ok := keyOf(name)
+		if !ok {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		found = append(found, scanned{key: key, size: info.Size(), mtime: info.ModTime()})
+	}
+	// Oldest access first, so pushing to the list front leaves the most
+	// recently used entry at the front and eviction starts at the back.
+	sort.Slice(found, func(i, j int) bool { return found[i].mtime.Before(found[j].mtime) })
+	for _, f := range found {
+		s.items[f.key] = s.ll.PushFront(&entry{key: f.key, size: f.size})
+		s.bytes += f.size
+	}
+	s.mu.Lock()
+	s.evictOverBudgetLocked()
+	s.mu.Unlock()
+	return s, nil
+}
+
+// keyOf extracts the result key from a file name, rejecting anything that
+// is not <64 hex chars>.json.
+func keyOf(name string) (string, bool) {
+	if len(name) != 64+len(resultSuffix) || name[64:] != resultSuffix {
+		return "", false
+	}
+	key := name[:64]
+	if !keyPattern.MatchString(key) {
+		return "", false
+	}
+	return key, true
+}
+
+func (s *Store) path(key string) string { return filepath.Join(s.dir, key+resultSuffix) }
+
+// Get returns the payload stored under key, marking it most recently used.
+// A file that has gone missing or no longer holds valid JSON (external
+// corruption) is dropped from the index and reported as a miss rather than
+// served.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		s.misses++
+		return nil, false
+	}
+	b, err := os.ReadFile(s.path(key))
+	if err != nil || !json.Valid(b) {
+		s.dropLocked(el)
+		os.Remove(s.path(key))
+		s.misses++
+		return nil, false
+	}
+	s.hits++
+	s.ll.MoveToFront(el)
+	// Mirror recency to the file's mtime so the LRU order survives a
+	// restart; purely best effort.
+	now := time.Now()
+	os.Chtimes(s.path(key), now, now)
+	return b, true
+}
+
+// Put stores val under key with write-then-rename atomicity: a crash at any
+// point leaves either the previous entry or the new one, never a torn file
+// behind the key. Entries are evicted oldest-access-first until the store
+// fits its byte budget again (the entry just written is never evicted, even
+// if it alone exceeds the budget).
+func (s *Store) Put(key string, val []byte) error {
+	if !keyPattern.MatchString(key) {
+		return fmt.Errorf("store: invalid key %q", key)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tmp := filepath.Join(s.dir, key+tmpSuffix)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: write %s: %w", key, err)
+	}
+	if _, err := f.Write(val); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: write %s: %w", key, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: sync %s: %w", key, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: close %s: %w", key, err)
+	}
+	if err := os.Rename(tmp, s.path(key)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: commit %s: %w", key, err)
+	}
+	size := int64(len(val))
+	if el, ok := s.items[key]; ok {
+		s.bytes += size - el.Value.(*entry).size
+		el.Value.(*entry).size = size
+		s.ll.MoveToFront(el)
+	} else {
+		s.items[key] = s.ll.PushFront(&entry{key: key, size: size})
+		s.bytes += size
+	}
+	s.evictOverBudgetLocked()
+	return nil
+}
+
+// dropLocked removes an entry from the in-memory index only.
+func (s *Store) dropLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	s.ll.Remove(el)
+	delete(s.items, e.key)
+	s.bytes -= e.size
+}
+
+// evictOverBudgetLocked deletes least-recently-accessed entries until the
+// store fits its byte budget, always sparing the most recent entry.
+func (s *Store) evictOverBudgetLocked() {
+	for s.bytes > s.maxBytes && s.ll.Len() > 1 {
+		oldest := s.ll.Back()
+		key := oldest.Value.(*entry).key
+		s.dropLocked(oldest)
+		os.Remove(s.path(key))
+		s.evictions++
+	}
+}
+
+// Len returns the number of resident entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len()
+}
+
+// Bytes returns the total payload bytes resident on disk.
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// Stats returns the cumulative hit, miss and eviction counts.
+func (s *Store) Stats() (hits, misses, evictions uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses, s.evictions
+}
