@@ -6,7 +6,7 @@ LOAD_ADDR ?= 127.0.0.1:8091
 LOAD_N ?= 200
 LOAD_C ?= 8
 
-.PHONY: all build test race fuzz-short bench bench-json fmt vet check serve loadtest
+.PHONY: all build test race fuzz-short bench bench-json profile fmt vet check serve loadtest
 
 all: check
 
@@ -29,14 +29,25 @@ bench:
 
 # Benchmarks as data: run the tier-1 benchmarks with real bench time and
 # write ns/op, allocs/op, simulated cycles/sec and per-benchmark speedups
-# against the committed pre-activity-scheduler baseline to BENCH_PR4.json.
+# against the committed pre-parallel-stepping baseline to BENCH_PR8.json.
 # The bench run goes to a file first so a failing run aborts the target
 # instead of being masked by the pipe.
 BENCHOUT ?= /tmp/quarc-bench.txt
 bench-json:
 	$(GO) test -run=^$$ -bench=. -benchmem -benchtime=$(BENCHTIME) . > $(BENCHOUT)
-	$(GO) run ./cmd/benchjson -baseline BENCH_PR4_BASELINE.txt < $(BENCHOUT) > BENCH_PR4.json
-	@echo "wrote BENCH_PR4.json"
+	$(GO) run ./cmd/benchjson -baseline BENCH_PR8_BASELINE.txt < $(BENCHOUT) > BENCH_PR8.json
+	@echo "wrote BENCH_PR8.json"
+
+# CPU + heap profile of one big saturated point (a 32x32 mesh), the workload
+# the intra-fabric worker pool targets. Inspect with:
+#   go tool pprof $(PROFDIR)/cpu.pprof
+PROFDIR ?= /tmp/quarc-prof
+profile: build
+	@mkdir -p $(PROFDIR)
+	$(GO) run ./cmd/quarcsim -topo mesh -n 1024 -m 16 -beta 0 -rate 0.02 \
+		-warmup 200 -cycles 2000 -drain 20000 \
+		-cpuprofile $(PROFDIR)/cpu.pprof -memprofile $(PROFDIR)/mem.pprof
+	@echo "profiles in $(PROFDIR)"
 
 # Run the simulation-as-a-service daemon in the foreground.
 serve:

@@ -198,6 +198,79 @@ func BenchmarkFabricStep(b *testing.B) {
 	}
 }
 
+// BenchmarkFabricStepParallel measures the per-cycle cost of one big fabric
+// — a 32x32 mesh, the single-point scale the intra-fabric worker pool
+// targets — with the pool off (serial) and at the automatic size. On a
+// multi-core machine the auto pool shards each phase across GOMAXPROCS
+// workers; on a single-core machine auto resolves to the serial path and the
+// two sub-benchmarks coincide.
+func BenchmarkFabricStepParallel(b *testing.B) {
+	const n = 1024
+	for _, bench := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"auto", quarc.DefaultStepWorkers(n)},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			fab, nodes, err := quarc.NewMesh(quarc.MeshConfig{W: 32, H: 32, Depth: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			fab.SetStepWorkers(bench.workers)
+			defer fab.Close()
+			refill := func(now int64) {
+				for i, nd := range nodes {
+					nd.SendUnicast((i+31)%n, 16, now)
+					nd.SendUnicast((i+997)%n, 16, now)
+				}
+			}
+			refill(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fab.Step()
+				if fab.Tracker.InFlight() == 0 {
+					b.StopTimer()
+					refill(fab.Now())
+					b.StartTimer()
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPointN1024Saturated runs the tentpole workload end to end: one
+// saturated 1024-node mesh design point, serial versus the automatic
+// intra-point pool. This is the "one big point" regime where sweep-level
+// parallelism has nothing to fan out and only intra-fabric sharding helps.
+func BenchmarkPointN1024Saturated(b *testing.B) {
+	for _, bench := range []struct {
+		name        string
+		stepWorkers int
+	}{
+		{"serial", 1},
+		{"auto", 0},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := quarc.Run(quarc.Config{
+					Model: "mesh", N: 1024, MsgLen: 16, Rate: 0.05,
+					Warmup: 100, Measure: 400, Drain: 500, Depth: 4, Seed: 13,
+					StepWorkers: bench.stepWorkers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Saturated {
+					b.Fatal("N=1024 point did not saturate")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkContention_StallBreakdown exercises the microarchitectural
 // stall accounting (the §2.1 bottleneck analysis).
 func BenchmarkContention_StallBreakdown(b *testing.B) {

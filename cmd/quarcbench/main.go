@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"quarc/internal/experiments"
+	"quarc/internal/prof"
 	"quarc/internal/service"
 )
 
@@ -36,8 +37,13 @@ func main() {
 			"independent replicates per sweep point (mean ± 95% CI aggregation)")
 		workers = flag.Int("workers", 0,
 			"sweep goroutines (0 = GOMAXPROCS); never changes the results")
-		serial  = flag.Bool("serial", false, "run panel sweeps on a single goroutine")
-		jsonOut = flag.Bool("json", false,
+		stepWorkers = flag.Int("step-workers", 0,
+			"intra-fabric stepping goroutines per design point (0 = automatic, "+
+				"1 = serial); never changes the results")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
+		serial     = flag.Bool("serial", false, "run panel sweeps on a single goroutine")
+		jsonOut    = flag.Bool("json", false,
 			"emit fig9/fig10/fig11 panels as NDJSON in the quarcd wire schema instead of tables")
 		pattern = flag.String("pattern", "uniform",
 			"unicast pattern for the fig9/fig10/fig11 panel sweeps: uniform, hotspot, antipodal, neighbor, bitreverse")
@@ -112,6 +118,13 @@ func main() {
 	}
 	opts.Replicates = *replicates
 	opts.Workers = *workers
+	opts.StepWorkers = *stepWorkers
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "quarcbench: %v\n", err)
+		os.Exit(2)
+	}
 	if *replicates > 1 {
 		switch *which {
 		case "fig9", "fig10", "fig11", "all":
@@ -263,6 +276,10 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(out)
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintf(os.Stderr, "quarcbench: %v\n", err)
+		os.Exit(1)
 	}
 	if !did {
 		fmt.Fprintf(os.Stderr, "quarcbench: unknown experiment %q\n", *which)

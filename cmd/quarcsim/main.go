@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"quarc"
+	"quarc/internal/prof"
 	"quarc/internal/service"
 )
 
@@ -38,8 +39,12 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "random seed")
 		replicates  = flag.Int("replicates", 1,
 			"independent replicates with derived seeds; >1 reports mean ± 95% CI across them")
-		workers = flag.Int("workers", 0, "replicate goroutines (0 = GOMAXPROCS)")
-		jsonOut = flag.Bool("json", false,
+		workers     = flag.Int("workers", 0, "replicate goroutines (0 = GOMAXPROCS)")
+		stepWorkers = flag.Int("step-workers", 0,
+			"intra-fabric stepping goroutines (0 = automatic, 1 = serial); never changes the result")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
+		jsonOut    = flag.Bool("json", false,
 			"emit the result as JSON in the quarcd wire schema instead of text")
 		listModels = flag.Bool("list-models", false, "list the registered network models and exit")
 	)
@@ -69,13 +74,24 @@ func main() {
 		os.Exit(2)
 	}
 
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "quarcsim: %v\n", err)
+		os.Exit(2)
+	}
+
 	res, reps, err := quarc.RunReplicated(quarc.Config{
 		Model: model, N: *n, MsgLen: *m, Beta: *beta, Rate: *rate,
 		Pattern: pat, HotspotBias: *hotspotBias,
 		BurstMeanOn: *burstOn, BurstMeanOff: *burstOff,
 		McastFrac: *mcastFrac, McastSize: *mcastSize, Depth: *depth,
 		Warmup: *warmup, Measure: *cycles, Drain: *drain, Seed: *seed,
+		StepWorkers: *stepWorkers,
 	}, *replicates, *workers)
+	if perr := stopProf(); perr != nil {
+		fmt.Fprintf(os.Stderr, "quarcsim: %v\n", perr)
+		os.Exit(1)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "quarcsim: %v\n", err)
 		os.Exit(1)

@@ -122,11 +122,25 @@ type Config struct {
 	McastFrac float64 `json:",omitempty"`
 	McastSize int     `json:",omitempty"`
 
+	// StepWorkers sizes the intra-point worker pool that shards each fabric
+	// cycle across goroutines: 0 auto-sizes (GOMAXPROCS clamped to N/16, so
+	// small fabrics stay serial), 1 forces serial stepping, higher values
+	// pin the count. Results are byte-identical at any value, so — exactly
+	// like the sweep engine's Workers knob — the field is excluded from the
+	// wire payload and the canonical cache keys (json:"-").
+	StepWorkers int `json:"-"`
+
 	// denseStep forces the reference dense behaviour: every router stepped
 	// every cycle and no idle-cycle skipping. The activity-equivalence suite
 	// sets it to prove the activity-driven scheduler bit-identical; it is
 	// unexported on purpose — not part of the wire schema or cache keys.
 	denseStep bool
+
+	// stepGrain overrides the fabric's pool-engagement threshold (minimum
+	// active nodes before parallel stepping pays). Test hook: the
+	// worker-invariance suite sets it to 1 so registry-sized fabrics
+	// exercise the parallel path. Unexported: not wire-visible.
+	stepGrain int
 }
 
 // fabricObserverKey carries a func(*network.Fabric) in a context: RunContext
@@ -169,6 +183,9 @@ func (c Config) ValidateWorkload() error {
 			return fmt.Errorf("experiments: bursty on-rate %.4f exceeds 1 msg/node/cycle "+
 				"(rate too high for this on/off duty cycle)", on)
 		}
+	}
+	if c.StepWorkers < 0 {
+		return fmt.Errorf("experiments: negative step workers %d", c.StepWorkers)
 	}
 	switch {
 	case c.McastFrac < 0 || c.McastFrac > 1:
@@ -293,6 +310,19 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	stepWorkers := cfg.StepWorkers
+	if stepWorkers == 0 {
+		stepWorkers = network.DefaultStepWorkers(cfg.N)
+	}
+	fab.SetStepWorkers(stepWorkers)
+	defer fab.Close()
+	if cfg.stepGrain > 0 {
+		fab.SetStepGrain(cfg.stepGrain)
+	}
+	// The execution knobs are spent: clear them so the Cfg embedded in the
+	// Result (and anything derived from it) is a pure function of the
+	// workload, identical no matter how the point was stepped.
+	cfg.StepWorkers, cfg.stepGrain = 0, 0
 
 	var uni, bc, bcDeliv stats.Accumulator
 	var mcastCount int64
@@ -420,16 +450,30 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 		fab.AdvanceIdle(lag)
 	}
 	// Drain: no more traffic; step the fabric until everything lands or the
-	// budget runs out.
+	// budget runs out. No kernel events can fire in the drain window, so the
+	// cycles run as StepBatch batches — the worker pool amortises dispatch
+	// over saturated spans — with the in-flight check evaluated between
+	// cycles, exactly where the per-cycle loop evaluated it.
 	var drained int64
-	for i := int64(0); i < cfg.Drain && fab.Tracker.InFlight() > 0; i++ {
-		if cancellable && i%ctxCheckPeriod == 0 {
+	drainStop := func() bool { return fab.Tracker.InFlight() == 0 }
+	for drained < cfg.Drain && fab.Tracker.InFlight() > 0 {
+		if cancellable {
 			if err := ctx.Err(); err != nil {
 				return Result{}, err
 			}
 		}
-		fab.Step()
-		drained++
+		if fab.Idle() {
+			// Nothing buffered and no backlog, yet messages in flight: a
+			// conservation bug no amount of stepping would drain. Dense
+			// stepping would spin the remaining budget proving it; skip the
+			// spin — Leftover reports the loss either way.
+			break
+		}
+		chunk := cfg.Drain - drained
+		if cancellable && chunk > ctxCheckPeriod {
+			chunk = ctxCheckPeriod
+		}
+		drained += fab.StepBatch(chunk, drainStop)
 	}
 	if fn, ok := ctx.Value(fabricObserverKey{}).(func(*network.Fabric)); ok {
 		fn(fab)

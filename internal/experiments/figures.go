@@ -78,6 +78,13 @@ type RunOpts struct {
 	// Workers bounds the sweep goroutines; 0 means GOMAXPROCS. The result
 	// does not depend on it.
 	Workers int
+	// StepWorkers sizes each point's intra-fabric worker pool (see
+	// Config.StepWorkers). 0 picks automatically: serial points under a
+	// multi-worker sweep (outer parallelism wins for many small points),
+	// fabric auto-sizing for single-worker sweeps (inner parallelism wins
+	// for few large ones). The result does not depend on it, and like
+	// Workers it stays out of canonical cache keys.
+	StepWorkers int `json:"-"`
 	// OnPointDone, if non-nil, is invoked as each design point of a sweep
 	// completes — possibly concurrently from several worker goroutines. It
 	// observes progress only; the sweep's results never depend on it.

@@ -87,6 +87,23 @@ func (o RunOpts) normalized() RunOpts {
 	return o
 }
 
+// pointStepWorkers resolves the intra-point fabric parallelism sweeps give
+// their points. An explicit RunOpts.StepWorkers passes through; otherwise a
+// sweep that fans points across multiple workers pins points serial (outer
+// parallelism already fills the machine, and inner pools would oversubscribe
+// it), while a single-worker sweep defers to the fabric's auto sizing. Called
+// after normalized(), so Workers is resolved. Applied identically by the
+// parallel and serial panel paths, keeping their results comparable.
+func (o RunOpts) pointStepWorkers() int {
+	if o.StepWorkers != 0 {
+		return o.StepWorkers
+	}
+	if o.Workers > 1 {
+		return 1
+	}
+	return 0
+}
+
 // sweepRun executes every point on a pool of workers goroutines. Results are
 // written into a slot per point, so the returned order is the input order
 // regardless of which worker finished when. A cancelled context stops the
@@ -163,6 +180,7 @@ func panelPoints(spec PanelSpec, opts RunOpts) ([]sweepPoint, []float64) {
 			McastFrac: spec.McastFrac, McastSize: spec.McastSize,
 			Depth:  opts.Depth,
 			Warmup: opts.Warmup, Measure: opts.Measure, Drain: opts.Drain,
+			StepWorkers: opts.pointStepWorkers(),
 		}
 		// Legacy models select through the enum (keeping their pre-registry
 		// configs, seeds and cache keys); registry-only models by name.
@@ -353,6 +371,12 @@ func RunReplicatedContext(ctx context.Context, cfg Config, replicates, workers i
 	}
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.StepWorkers == 0 && workers > 1 {
+		// Replicates fan out across workers: pin the per-replicate fabrics
+		// serial (same rule as pointStepWorkers) instead of letting each
+		// auto-size a pool on an already busy machine.
+		cfg.StepWorkers = 1
 	}
 	points := make([]sweepPoint, replicates)
 	for rep := range points {

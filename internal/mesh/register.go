@@ -10,16 +10,16 @@ import (
 
 // checkSquare validates a node count for the square mesh/torus builds the
 // registry exposes (the package itself also supports rectangles via Config).
-// The 64-node cap matches the ring models': the fabric tracker dedupes
-// collective deliveries with a 64-bit node mask, so larger networks could
-// never complete a broadcast.
+// Unlike the ring models — pinned at 64 nodes by the paper's single-flit
+// header format — the mesh scales with the tracker's multi-word delivery
+// mask; the cap only bounds memory per simulated point.
 func checkSquare(n int) error {
 	side := int(math.Round(math.Sqrt(float64(n))))
 	if n < 4 || side*side != n {
 		return fmt.Errorf("mesh: size %d is not a square of at least 4 nodes", n)
 	}
-	if n > 64 {
-		return fmt.Errorf("mesh: size %d exceeds the 64-node tracker limit", n)
+	if n > 4096 {
+		return fmt.Errorf("mesh: size %d exceeds the 4096-node cap", n)
 	}
 	return nil
 }

@@ -250,6 +250,25 @@ func (b *BaseAdapter) Feed(now int64) {
 	}
 }
 
+// FeedBlocked reports whether Feed cannot inject a single flit right now:
+// every source queue with a pending flit faces a full injection lane. The
+// fabric consults it (through the feedBlocked interface) before putting a
+// backlogged node into blocked sleep — a node whose Feed could still make
+// progress must keep stepping. Adapters that override Feed's queue discipline
+// must override this to match.
+func (b *BaseAdapter) FeedBlocked() bool {
+	for qi := range b.Queues {
+		q := &b.Queues[qi]
+		if _, ok := q.NextFlit(); !ok {
+			continue
+		}
+		if b.R.LaneFree(b.InjPorts[qi], 0) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // Receive reassembles delivered flits and fires OnTail on completion.
 func (b *BaseAdapter) Receive(f flit.Flit, now int64) {
 	if b.asm.Add(f) {
@@ -269,18 +288,36 @@ func (b *BaseAdapter) Backlog() int {
 }
 
 // CountRemoteTargets returns the number of distinct targets excluding self —
-// the expected delivery count of a multicast. Node ids deduplicate modulo 64,
-// matching the tracker's delivery mask (every model caps N at 64).
+// the expected delivery count of a multicast. Nodes below 64 deduplicate
+// through a bitmask; higher ids (large meshes) fall back to a linear rescan
+// of the prefix, which stays cheap at realistic multicast widths and
+// allocates nothing.
 func CountRemoteTargets(targets []int, self int) int {
 	var seen uint64
 	count := 0
-	for _, d := range targets {
-		bit := uint64(1) << uint(d%64)
-		if d == self || seen&bit != 0 {
+	for i, d := range targets {
+		if d == self {
 			continue
 		}
-		seen |= bit
-		count++
+		if uint(d) < 64 {
+			bit := uint64(1) << uint(d)
+			if seen&bit != 0 {
+				continue
+			}
+			seen |= bit
+			count++
+			continue
+		}
+		dup := false
+		for _, e := range targets[:i] {
+			if e == d {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			count++
+		}
 	}
 	return count
 }
@@ -299,12 +336,28 @@ func (b *BaseAdapter) SendMulticastFanout(fab *Fabric, qi int, targets []int, ms
 	msgID := fab.NextMsgID()
 	fab.Tracker.Register(msgID, ClassMulticast, b.Node, now, expected)
 	var seen uint64
-	for _, d := range targets {
-		bit := uint64(1) << uint(d%64)
-		if d == b.Node || seen&bit != 0 {
+	for i, d := range targets {
+		if d == b.Node {
 			continue
 		}
-		seen |= bit
+		if uint(d) < 64 {
+			bit := uint64(1) << uint(d)
+			if seen&bit != 0 {
+				continue
+			}
+			seen |= bit
+		} else {
+			dup := false
+			for _, e := range targets[:i] {
+				if e == d {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+		}
 		h := flit.Flit{
 			Traffic: flit.Unicast, Src: b.Node, Dst: d,
 			PktID: fab.NextPktID(), MsgID: msgID, Gen: now,

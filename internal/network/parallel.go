@@ -1,0 +1,214 @@
+// Intra-cycle parallel stepping: a persistent worker pool shards each phase
+// of a fabric cycle across goroutines.
+//
+// Determinism contract: within a phase the per-node work touches only that
+// node's router/adapter plus read-only views of other routers' state that is
+// stable for the whole phase (occupancy snapshots during arbitration, live
+// occupancy during the sleep scan), so shard boundaries cannot change any
+// outcome. Everything order-sensitive — delivery/trace/counter updates,
+// cross-link pushes, wake bits, sleep-set edits, the cycle counter — runs in
+// single-threaded coordinator sections in ascending node order, exactly the
+// serial order. Results are therefore byte-identical at any worker count,
+// including 1 (the pool-free serial path).
+package network
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// spinBarrier synchronises the pool between phases. Workers spin on a
+// generation counter (yielding after a burst), which is dramatically cheaper
+// than mutex/condvar parking at the microsecond phase lengths of a fabric
+// cycle; the atomics carry the happens-before edges the memory model (and
+// the race detector) need.
+type spinBarrier struct {
+	n int32
+	// spinLimit is how long a waiter burns cycles before yielding to the
+	// scheduler. When the pool has a core per worker, spinning through a
+	// phase boundary is the fast path; when workers outnumber GOMAXPROCS
+	// (CI containers, -race runs on small machines), the stragglers can
+	// only arrive once the waiter yields, so it must do so immediately.
+	spinLimit int
+	count     atomic.Int32
+	gen       atomic.Uint64
+}
+
+func (b *spinBarrier) wait() {
+	g := b.gen.Load()
+	if b.count.Add(1) == b.n {
+		b.count.Store(0)
+		b.gen.Add(1)
+		return
+	}
+	for spins := 0; b.gen.Load() == g; spins++ {
+		if spins >= b.spinLimit {
+			runtime.Gosched()
+		}
+	}
+}
+
+// stepPool runs fabric cycles with `workers` goroutines (the dispatching
+// caller counts as worker 0; workers-1 helpers park on a channel between
+// dispatches). One dispatch covers maxCycles cycles — 1 in normal operation,
+// a whole batch once the fabric saturates — with the coordinator latching
+// the next step set and checking the stop hook between cycles.
+type stepPool struct {
+	f       *Fabric
+	workers int
+	bar     spinBarrier
+	work    chan struct{} // one token per helper per dispatch; closed to exit
+	shards  [][2]int      // per worker: [lo, hi) into f.stepList
+	scratch []stepScratch
+
+	// Dispatch state: written by worker 0 in single-threaded sections,
+	// published to helpers by the barrier.
+	maxCycles   int64
+	ran         int64
+	stop        func() bool
+	halt        bool
+	latchedNext bool
+	stopped     bool
+}
+
+func newStepPool(f *Fabric, workers int) *stepPool {
+	p := &stepPool{
+		f:       f,
+		workers: workers,
+		work:    make(chan struct{}),
+		shards:  make([][2]int, workers),
+		scratch: make([]stepScratch, workers),
+	}
+	p.bar.n = int32(workers)
+	if runtime.GOMAXPROCS(0) >= workers {
+		p.bar.spinLimit = 512
+	}
+	for w := range p.scratch {
+		p.scratch[w].sleptIdle = make([]int, 0, f.N)
+		p.scratch[w].sleptBlocked = make([]int, 0, f.N)
+	}
+	for w := 1; w < workers; w++ {
+		go func(id int) {
+			for range p.work {
+				p.cycles(id)
+			}
+		}(w)
+	}
+	return p
+}
+
+// close shuts the helper goroutines down. Must not be called while a
+// dispatch is in flight.
+func (p *stepPool) close() {
+	close(p.work)
+}
+
+// computeShards splits the latched step list into contiguous, balanced
+// per-worker ranges. Contiguity keeps each worker on an ascending node range
+// (cache-friendly, and shard-count independent results fall out of phase
+// independence, not shard layout).
+func (p *stepPool) computeShards() {
+	n := len(p.f.stepList)
+	q, r := n/p.workers, n%p.workers
+	lo := 0
+	for w := 0; w < p.workers; w++ {
+		sz := q
+		if w < r {
+			sz++
+		}
+		p.shards[w][0], p.shards[w][1] = lo, lo+sz
+		lo += sz
+	}
+}
+
+// run executes up to maxCycles cycles on the pool against the already
+// latched step list. It returns the cycles run, whether the next cycle's
+// step set was latched but left unrun (it fell below the pool grain), and
+// whether the stop hook fired.
+func (p *stepPool) run(maxCycles int64, stop func() bool) (ran int64, latchedNext, stopped bool) {
+	p.maxCycles, p.stop = maxCycles, stop
+	p.ran, p.halt, p.latchedNext, p.stopped = 0, false, false, false
+	p.computeShards()
+	for w := 1; w < p.workers; w++ {
+		p.work <- struct{}{}
+	}
+	p.cycles(0)
+	p.stop = nil
+	return p.ran, p.latchedNext, p.stopped
+}
+
+// cycles is the per-worker cycle loop: five parallel phases over the
+// worker's shard, interleaved with coordinator sections on worker 0. All
+// workers observe the same halt decision through the final barrier, so they
+// enter and leave together.
+func (p *stepPool) cycles(w int) {
+	f := p.f
+	sc := &p.scratch[w]
+	for {
+		shard := f.stepList[p.shards[w][0]:p.shards[w][1]]
+		for _, node := range shard {
+			f.reconcile(node, sc)
+		}
+		p.bar.wait()
+		for _, node := range shard {
+			f.moves[node] = f.Routers[node].Arbitrate(f.views[node], f.moves[node][:0])
+		}
+		p.bar.wait()
+		for _, node := range shard {
+			f.Routers[node].Commit(f.moves[node])
+		}
+		p.bar.wait()
+		if w == 0 {
+			for i := range p.scratch {
+				f.applyWoken(&p.scratch[i])
+			}
+			f.applyMoves(f.stepList)
+		}
+		p.bar.wait()
+		for _, node := range shard {
+			f.Adapters[node].Feed(f.cycle)
+		}
+		p.bar.wait()
+		if !f.dense {
+			for _, node := range shard {
+				f.sleepScan(node, sc)
+			}
+		}
+		p.bar.wait()
+		if w == 0 {
+			if !f.dense {
+				for i := range p.scratch {
+					f.applySleep(&p.scratch[i])
+				}
+			}
+			f.cycle++
+			p.ran++
+			p.halt = true
+			if p.ran < p.maxCycles {
+				switch {
+				case p.stop != nil && p.stop():
+					p.stopped = true
+				default:
+					f.latch()
+					if len(f.stepList) >= f.stepGrain {
+						p.computeShards()
+						p.halt = false
+					} else {
+						p.latchedNext = true
+					}
+				}
+			}
+		}
+		p.bar.wait()
+		if p.halt {
+			// Exit barrier: the moment worker 0 returns, the next run() call
+			// resets the dispatch state (halt included), so no worker may
+			// leave until every worker has read this dispatch's halt
+			// decision. Without it a descheduled helper could read the
+			// reset halt=false, re-enter the cycle loop and spin on a
+			// barrier no other worker will ever join.
+			p.bar.wait()
+			return
+		}
+	}
+}

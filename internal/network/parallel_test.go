@@ -1,0 +1,85 @@
+package network_test
+
+// Mechanism tests for StepBatch and the worker pool: the stop hook must act
+// between cycles exactly as a caller's own per-Step loop would, whether the
+// cycles run serially, on the pool one dispatch per cycle, or batched many
+// cycles per dispatch. The end-to-end bit-identity matrix lives in the
+// experiment layer's registry-driven suite.
+
+import (
+	"testing"
+
+	"quarc/internal/network"
+)
+
+// referenceCycles runs the caller's own stop-checked loop: test before every
+// cycle, step while work remains.
+func referenceCycles(fab *network.Fabric) int64 {
+	var n int64
+	for fab.Tracker.InFlight() > 0 {
+		fab.Step()
+		n++
+	}
+	return n
+}
+
+func TestStepBatchStopMatchesPerStepLoop(t *testing.T) {
+	ref, refTs := buildQuarc(t, 8)
+	refTs[0].SendUnicast(3, 12, 0)
+	want := referenceCycles(ref)
+	if want == 0 {
+		t.Fatal("reference run did no work")
+	}
+
+	for _, tc := range []struct {
+		name  string
+		setup func(f *network.Fabric)
+	}{
+		{"serial", func(f *network.Fabric) {}},
+		{"pool", func(f *network.Fabric) {
+			f.SetStepWorkers(2)
+			f.SetStepGrain(1)
+		}},
+		{"pool-batched", func(f *network.Fabric) {
+			// Dense mode keeps every node in the step set, so the
+			// saturation streak arms immediately and the dispatch covers
+			// many cycles — the stop hook must still fire between them.
+			f.SetDense(true)
+			f.SetStepWorkers(2)
+			f.SetStepGrain(1)
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fab, ts := buildQuarc(t, 8)
+			tc.setup(fab)
+			defer fab.Close()
+			ts[0].SendUnicast(3, 12, 0)
+			got := fab.StepBatch(1_000, func() bool { return fab.Tracker.InFlight() == 0 })
+			if got != want {
+				t.Fatalf("StepBatch ran %d cycles, per-Step loop ran %d", got, want)
+			}
+			if fab.Now() != ref.Now() {
+				t.Fatalf("clock at %d, reference at %d", fab.Now(), ref.Now())
+			}
+			if fab.Tracker.Completed() != 1 {
+				t.Fatalf("completed %d messages, want 1", fab.Tracker.Completed())
+			}
+		})
+	}
+}
+
+func TestStepBatchHonoursBudget(t *testing.T) {
+	fab, ts := buildQuarc(t, 8)
+	defer fab.Close()
+	ts[0].SendUnicast(3, 12, 0)
+	if got := fab.StepBatch(3, nil); got != 3 {
+		t.Fatalf("StepBatch(3) ran %d cycles", got)
+	}
+	if fab.Now() != 3 {
+		t.Fatalf("clock at %d after a 3-cycle batch", fab.Now())
+	}
+	// A stop that is already true runs nothing.
+	if got := fab.StepBatch(10, func() bool { return true }); got != 0 {
+		t.Fatalf("StepBatch with an immediately-true stop ran %d cycles", got)
+	}
+}

@@ -53,7 +53,11 @@ type Tracker struct {
 
 type trackState struct {
 	rec  MessageRecord
-	mask uint64 // delivered-node bitmask (N <= 64)
+	mask uint64 // delivered-node bitmask, nodes 0..63
+	// maskHi extends the bitmask for nodes >= 64 (word w covers nodes
+	// 64w+64 .. 64w+127). Lazily grown, recycled with the state so large-N
+	// steady-state registration stays allocation-free.
+	maskHi []uint64
 }
 
 // NewTracker returns an empty tracker.
@@ -77,9 +81,13 @@ func (t *Tracker) Register(msgID uint64, class MessageClass, src int, gen int64,
 	} else {
 		st = new(trackState)
 	}
-	*st = trackState{rec: MessageRecord{
+	st.rec = MessageRecord{
 		MsgID: msgID, Class: class, Src: src, Gen: gen, Expected: expected, First: -1,
-	}}
+	}
+	st.mask = 0
+	for i := range st.maskHi {
+		st.maskHi[i] = 0
+	}
 	t.inflight[msgID] = st
 }
 
@@ -92,12 +100,23 @@ func (t *Tracker) Delivered(msgID uint64, node int, now int64) {
 	if !ok {
 		panic(fmt.Sprintf("network: delivery for unknown message %d", msgID))
 	}
-	bit := uint64(1) << uint(node%64)
-	if st.mask&bit != 0 {
-		t.duplicates++
-		return
+	bit := uint64(1) << uint(node&63)
+	if w := node >> 6; w == 0 {
+		if st.mask&bit != 0 {
+			t.duplicates++
+			return
+		}
+		st.mask |= bit
+	} else {
+		for len(st.maskHi) < w {
+			st.maskHi = append(st.maskHi, 0)
+		}
+		if st.maskHi[w-1]&bit != 0 {
+			t.duplicates++
+			return
+		}
+		st.maskHi[w-1] |= bit
 	}
-	st.mask |= bit
 	st.rec.Delivered++
 	st.rec.DeliSum += now
 	if st.rec.First < 0 {

@@ -1,0 +1,46 @@
+// Package prof wires the CLIs' -cpuprofile/-memprofile flags to
+// runtime/pprof, so `make profile` (and ad-hoc runs) can feed
+// `go tool pprof` without any per-command boilerplate.
+package prof
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling when cpu is a non-empty path and returns a stop
+// function that finishes the CPU profile and writes a heap profile to mem
+// (when non-empty). Call the stop function exactly once, before process exit;
+// with both paths empty it is a no-op.
+func Start(cpu, mem string) (stop func() error, err error) {
+	var cpuF *os.File
+	if cpu != "" {
+		cpuF, err = os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			if err := cpuF.Close(); err != nil {
+				return err
+			}
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // materialise final heap statistics
+			return pprof.WriteHeapProfile(f)
+		}
+		return nil
+	}, nil
+}

@@ -128,6 +128,20 @@ func (t *Transceiver) Feed(now int64) {
 	}
 }
 
+// FeedBlocked mirrors Feed's single-queue discipline: in the ablation the
+// front packet's injection lane being full blocks the whole queue
+// (head-of-line), so one probe decides.
+func (t *Transceiver) FeedBlocked() bool {
+	if !t.cfg.SingleQueue {
+		return t.BaseAdapter.FeedBlocked()
+	}
+	_, port, ok := t.single.next()
+	if !ok {
+		return true
+	}
+	return t.R.LaneFree(port, 0) == 0
+}
+
 // Backlog includes the ablation queue.
 func (t *Transceiver) Backlog() int {
 	if t.cfg.SingleQueue {

@@ -81,6 +81,11 @@ type lane struct {
 	pendDec Decision
 	pendPkt uint64
 	pendOK  bool
+	// Blocked-sleep recording (FrozenBlocked): whether this lane held a
+	// flit when the switch froze, and the stall cause the dense arbiter
+	// would charge it each slept cycle.
+	frozen      bool
+	frozenCause StallCause
 }
 
 type inputPort struct {
@@ -116,7 +121,10 @@ type Router struct {
 	bids     []bid  // reused each cycle
 	granted  []bool // reused each cycle: per input, action taken
 	buffered int    // flits across all input lanes (O(1) quiescence report)
-	stats    Stats
+	// frozenOcc is the buffered-flit count recorded by FrozenBlocked, the
+	// per-cycle occupancy integrand replayed for blocked-slept cycles.
+	frozenOcc uint64
+	stats     Stats
 }
 
 type bid struct {
@@ -222,6 +230,106 @@ func (r *Router) AddIdleCycles(n uint64) {
 	r.stats.Cycles += n
 }
 
+// FrozenBlocked reports whether the switch is stably blocked: it holds flits,
+// but no head flit of any lane can move this cycle or any later one until
+// external state changes — every candidate move is stopped by a downstream
+// credit that only a downstream pop can free, or by a local output-VC
+// ownership that only a move of this switch itself could release. The check
+// is evaluated against the live downstream occupancy (not the one-cycle
+// snapshot): a frozen switch's credit view cannot change between the lagged
+// and live values, and the live view is what stays valid for the whole sleep.
+//
+// On success it records, per nonempty lane, the stall cause the dense arbiter
+// would charge every blocked cycle, plus the occupancy integrand;
+// ReplayBlockedCycles consumes the recording when the switch wakes. A false
+// return leaves the recording undefined.
+func (r *Router) FrozenBlocked(live []Downstream) bool {
+	r.frozenOcc = uint64(r.buffered)
+	for i := range r.in {
+		p := &r.in[i]
+		for l := range p.lanes {
+			ln := &p.lanes[l]
+			head, ok := ln.q.Peek()
+			if !ok {
+				ln.frozen = false
+				continue
+			}
+			dec := r.laneDecision(i, l, head)
+			if dec.Out == NoOutput {
+				// Dedicated ejection always succeeds: not blocked.
+				return false
+			}
+			b := bid{in: i, lane: l, dec: dec, head: head, valid: true}
+			ok, _, cause := r.trySend(dec.Out, &b, live[dec.Out])
+			if ok {
+				return false
+			}
+			ln.frozen = true
+			ln.frozenCause = cause
+		}
+	}
+	return true
+}
+
+// ReplayBlockedCycles accounts k cycles the network skipped stepping this
+// switch while it slept blocked (FrozenBlocked held when it was put to
+// sleep): the occupancy integral grows by the frozen occupancy each cycle,
+// and each input port's VC arbiter replays its selection rotation over the
+// recorded nonempty lanes — charging each selected lane's recorded stall
+// cause and leaving the round-robin pointer exactly where dense stepping
+// would have. Incremental: replaying k then k' cycles equals replaying k+k'.
+func (r *Router) ReplayBlockedCycles(k uint64) {
+	if k == 0 {
+		return
+	}
+	r.stats.Cycles += k
+	r.stats.OccupancySum += k * r.frozenOcc
+	for i := range r.in {
+		p := &r.in[i]
+		n := len(p.lanes)
+		var sbuf [8]int
+		s := sbuf[:0]
+		if n > len(sbuf) {
+			s = make([]int, 0, n)
+		}
+		for l := range p.lanes {
+			if p.lanes[l].frozen {
+				s = append(s, l)
+			}
+		}
+		if len(s) == 0 {
+			continue
+		}
+		// Each cycle the arbiter selects the first frozen lane at or after
+		// rr (cyclically), charges its stall, and advances rr past it — so
+		// successive selections walk s cyclically from the first member >= rr.
+		start := 0
+		for j, l := range s {
+			if l >= p.rr {
+				start = j
+				break
+			}
+		}
+		per := k / uint64(len(s))
+		rem := k % uint64(len(s))
+		for j := range s {
+			cnt := per
+			if uint64(j) < rem {
+				cnt++
+			}
+			if cnt == 0 {
+				continue
+			}
+			l := s[(start+j)%len(s)]
+			r.stats.Stalls[p.lanes[l].frozenCause] += cnt
+		}
+		if n > 1 {
+			last := s[(start+int((k-1)%uint64(len(s))))%len(s)]
+			p.rr = (last + 1) % n
+		}
+	}
+}
+
 // Sent returns the number of flits the given output port has transmitted
 // (link-load accounting for the edge-symmetry analysis).
 func (r *Router) Sent(out int) uint64 { return r.out[out].sent }
@@ -262,8 +370,11 @@ func (r *Router) reachable(o, in int) bool {
 }
 
 // bidFor runs the VC arbiter of one input port: select the lane presented to
-// the crossbar this cycle.
-func (r *Router) bidFor(i int) bid {
+// the crossbar this cycle, filling b in place. An invalid bid leaves the
+// other fields stale — every reader gates on b.valid, and writing only the
+// flag keeps the empty-port case (the common one at low load) free of the
+// struct zeroing a by-value return would pay.
+func (r *Router) bidFor(i int, b *bid) {
 	p := &r.in[i]
 	n := len(p.lanes)
 	for k := 0; k < n; k++ {
@@ -273,33 +384,42 @@ func (r *Router) bidFor(i int) bid {
 		if !ok {
 			continue
 		}
-		dec := ln.dec
-		if !ln.active {
-			if head.Kind != flit.Header {
-				panic(fmt.Sprintf("router %d in %d lane %d: %v flit with no active packet",
-					r.cfg.Node, i, l, head.Kind))
-			}
-			if !ln.pendOK || ln.pendPkt != head.PktID {
-				dec = r.cfg.Route(r.cfg.Node, i, head)
-				if dec.Out == NoOutput && !dec.Eject {
-					panic(fmt.Sprintf("router %d in %d: decision with no action for %+v",
-						r.cfg.Node, i, head))
-				}
-				if dec.Out == NoOutput && r.cfg.EjectPort != NoOutput {
-					panic(fmt.Sprintf("router %d in %d: pure-local decision on a shared-eject switch",
-						r.cfg.Node, i))
-				}
-				if dec.Out != NoOutput && !r.reachable(dec.Out, i) {
-					panic(fmt.Sprintf("router %d: route sends input %d to unreachable output %d",
-						r.cfg.Node, i, dec.Out))
-				}
-				ln.pendDec, ln.pendPkt, ln.pendOK = dec, head.PktID, true
-			}
-			dec = ln.pendDec
-		}
-		return bid{in: i, lane: l, dec: dec, head: head, valid: true}
+		b.in, b.lane, b.head, b.valid = i, l, head, true
+		b.dec = r.laneDecision(i, l, head)
+		return
 	}
-	return bid{}
+	b.valid = false
+}
+
+// laneDecision returns the routing decision governing the flit at the head of
+// lane (i, l): the FCU's latched decision for an active packet, or the cached
+// (validated) route of the waiting header.
+func (r *Router) laneDecision(i, l int, head flit.Flit) Decision {
+	ln := &r.in[i].lanes[l]
+	if ln.active {
+		return ln.dec
+	}
+	if head.Kind != flit.Header {
+		panic(fmt.Sprintf("router %d in %d lane %d: %v flit with no active packet",
+			r.cfg.Node, i, l, head.Kind))
+	}
+	if !ln.pendOK || ln.pendPkt != head.PktID {
+		dec := r.cfg.Route(r.cfg.Node, i, head)
+		if dec.Out == NoOutput && !dec.Eject {
+			panic(fmt.Sprintf("router %d in %d: decision with no action for %+v",
+				r.cfg.Node, i, head))
+		}
+		if dec.Out == NoOutput && r.cfg.EjectPort != NoOutput {
+			panic(fmt.Sprintf("router %d in %d: pure-local decision on a shared-eject switch",
+				r.cfg.Node, i))
+		}
+		if dec.Out != NoOutput && !r.reachable(dec.Out, i) {
+			panic(fmt.Sprintf("router %d: route sends input %d to unreachable output %d",
+				r.cfg.Node, i, dec.Out))
+		}
+		ln.pendDec, ln.pendPkt, ln.pendOK = dec, head.PktID, true
+	}
+	return ln.pendDec
 }
 
 // Downstream abstracts the credit view of whatever an output port feeds; the
@@ -319,7 +439,7 @@ func (r *Router) Arbitrate(downstream []Downstream, moves []Move) []Move {
 	// VC arbitration: one candidate lane per input port.
 	nbids := 0
 	for i := range r.in {
-		r.bids[i] = r.bidFor(i)
+		r.bidFor(i, &r.bids[i])
 		if r.bids[i].valid {
 			nbids++
 		}

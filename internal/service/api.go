@@ -144,6 +144,10 @@ type RunRequest struct {
 	Seed       uint64  `json:"seed,omitempty"`
 	Replicates int     `json:"replicates,omitempty"`
 	Workers    int     `json:"workers,omitempty"`
+	// StepWorkers sizes the intra-point fabric worker pool (0 = automatic;
+	// 1 = serial). Like workers it only changes wall-clock time, never the
+	// result, and stays out of the canonical cache key.
+	StepWorkers int `json:"step_workers,omitempty"`
 }
 
 // Config validates the request and converts it to a normalised simulator
@@ -169,6 +173,7 @@ func (r RunRequest) Config() (experiments.Config, error) {
 		BurstMeanOn: r.BurstMeanOn, BurstMeanOff: r.BurstMeanOff,
 		McastFrac: r.McastFrac, McastSize: r.McastSize, Depth: r.Depth,
 		Warmup: r.Warmup, Measure: r.Measure, Drain: r.Drain, Seed: r.Seed,
+		StepWorkers: r.StepWorkers,
 	}.WithDefaults()
 	if err := model.CheckSize(name, cfg.N); err != nil {
 		return experiments.Config{}, err
@@ -189,6 +194,8 @@ func (r RunRequest) Config() (experiments.Config, error) {
 		return experiments.Config{}, fmt.Errorf("replicates %d outside [0,%d]", r.Replicates, MaxReplicates)
 	case r.Workers < 0 || r.Workers > MaxWorkers:
 		return experiments.Config{}, fmt.Errorf("workers %d outside [0,%d]", r.Workers, MaxWorkers)
+	case r.StepWorkers < 0 || r.StepWorkers > MaxWorkers:
+		return experiments.Config{}, fmt.Errorf("step_workers %d outside [0,%d]", r.StepWorkers, MaxWorkers)
 	case int64(r.replicates())*(cfg.Warmup+cfg.Measure+cfg.Drain) > MaxJobCycles:
 		return experiments.Config{}, fmt.Errorf("replicates x cycles exceeds the job limit %d", int64(MaxJobCycles))
 	}
@@ -206,14 +213,15 @@ func (r RunRequest) replicates() int {
 // SweepOpts is the wire form of experiments.RunOpts (minus the worker count's
 // effect on results: workers only changes wall-clock time).
 type SweepOpts struct {
-	Warmup     int64  `json:"warmup,omitempty"`
-	Measure    int64  `json:"measure,omitempty"`
-	Drain      int64  `json:"drain,omitempty"`
-	Depth      int    `json:"depth,omitempty"`
-	Seed       uint64 `json:"seed,omitempty"`
-	Points     int    `json:"points,omitempty"`
-	Replicates int    `json:"replicates,omitempty"`
-	Workers    int    `json:"workers,omitempty"`
+	Warmup      int64  `json:"warmup,omitempty"`
+	Measure     int64  `json:"measure,omitempty"`
+	Drain       int64  `json:"drain,omitempty"`
+	Depth       int    `json:"depth,omitempty"`
+	Seed        uint64 `json:"seed,omitempty"`
+	Points      int    `json:"points,omitempty"`
+	Replicates  int    `json:"replicates,omitempty"`
+	Workers     int    `json:"workers,omitempty"`
+	StepWorkers int    `json:"step_workers,omitempty"`
 }
 
 // MaxPanelModels bounds the architectures one panel request may sweep.
@@ -303,6 +311,7 @@ func (p PanelRequest) SpecOpts() (experiments.PanelSpec, experiments.RunOpts, er
 		Warmup: o.Warmup, Measure: o.Measure, Drain: o.Drain,
 		Depth: o.Depth, Seed: o.Seed, Points: o.Points,
 		Replicates: o.Replicates, Workers: o.Workers,
+		StepWorkers: o.StepWorkers,
 	}
 	if opts.Warmup == 0 {
 		opts.Warmup = def.Warmup
@@ -336,6 +345,8 @@ func (p PanelRequest) SpecOpts() (experiments.PanelSpec, experiments.RunOpts, er
 		return experiments.PanelSpec{}, experiments.RunOpts{}, fmt.Errorf("replicates %d exceeds the limit %d", opts.Replicates, MaxReplicates)
 	case opts.Workers < 0 || opts.Workers > MaxWorkers:
 		return experiments.PanelSpec{}, experiments.RunOpts{}, fmt.Errorf("workers %d outside [0,%d]", opts.Workers, MaxWorkers)
+	case opts.StepWorkers < 0 || opts.StepWorkers > MaxWorkers:
+		return experiments.PanelSpec{}, experiments.RunOpts{}, fmt.Errorf("step_workers %d outside [0,%d]", opts.StepWorkers, MaxWorkers)
 	}
 	rates := len(spec.Rates)
 	if rates == 0 {

@@ -15,6 +15,13 @@ func TestRunKeyNormalisesDefaults(t *testing.T) {
 	if RunKey(sparse, 1) != RunKey(explicit, 1) {
 		t.Fatal("spelling out the defaults changed the cache key")
 	}
+	// Like the sweep worker count, the intra-point step-worker count only
+	// changes wall-clock time, so it must share the cache entry.
+	stepped := sparse
+	stepped.StepWorkers = 8
+	if RunKey(sparse, 1) != RunKey(stepped, 1) {
+		t.Fatal("step-worker count changed the run cache key")
+	}
 }
 
 func TestRunKeySeparatesInputs(t *testing.T) {
@@ -56,6 +63,11 @@ func TestPanelKeyIgnoresExecutionKnobs(t *testing.T) {
 	}
 	if PanelKey(spec, opts) != PanelKey(spec, withCb) {
 		t.Fatal("progress callback changed the panel key")
+	}
+	stepped := opts
+	stepped.StepWorkers = 8
+	if PanelKey(spec, opts) != PanelKey(spec, stepped) {
+		t.Fatal("step-worker count changed the panel key")
 	}
 	// Labels are echoed in the payload, so they must change the key: a
 	// request must never receive bytes carrying another request's labels.

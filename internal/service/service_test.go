@@ -590,9 +590,9 @@ func TestBurstyRunOverWire(t *testing.T) {
 // submission time for every model.
 func TestOversizedMeshRejected(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1})
-	resp, body := postJSON(t, ts.URL+"/v1/runs", RunRequest{Topo: "mesh", N: 100, Beta: 0.1, Rate: 0.005})
+	resp, body := postJSON(t, ts.URL+"/v1/runs", RunRequest{Topo: "mesh", N: 8100, Beta: 0.1, Rate: 0.005})
 	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("n=100 mesh accepted: %s: %s", resp.Status, body)
+		t.Fatalf("n=8100 mesh accepted: %s: %s", resp.Status, body)
 	}
 }
 

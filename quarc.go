@@ -175,6 +175,11 @@ func NewSpidergon(cfg SpidergonConfig) (*Fabric, []*SpidergonAdapter, error) {
 // NewMesh builds a mesh or torus.
 func NewMesh(cfg MeshConfig) (*Fabric, []*MeshAdapter, error) { return mesh.Build(cfg) }
 
+// DefaultStepWorkers is the automatic intra-fabric worker-pool size for an
+// n-node fabric: GOMAXPROCS, clamped so each worker keeps a useful shard
+// (see Fabric.SetStepWorkers and Config.StepWorkers).
+func DefaultStepWorkers(n int) int { return network.DefaultStepWorkers(n) }
+
 // RingAdapter and RingConfig expose the bidirectional-ring lower bound.
 type (
 	RingAdapter = ring.Adapter
