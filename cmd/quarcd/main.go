@@ -17,6 +17,16 @@
 // event streams across restarts, and re-enqueues jobs that were queued or
 // running when it died.
 //
+// The serving path is chaos-hardened: a circuit breaker degrades to
+// memory-cache-only when the disk store misbehaves, per-request deadlines
+// (deadline_ms) and queue shedding answer analyzable runs with instant
+// analytic estimates marked degraded, a watchdog cancels jobs making no
+// progress, and job panics fail one job, not the daemon. -chaos (or
+// QUARCD_CHAOS) injects a deterministic fault plan into the store's
+// filesystem boundary to prove all of that under fire:
+//
+//	quarcd -data-dir /tmp/qd -chaos 'seed=42,err=0.1,torn=0.05,slow=0.02,delay=2ms'
+//
 // Examples:
 //
 //	quarcd -addr :8080
@@ -41,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"quarc/internal/faultinject"
 	"quarc/internal/service"
 )
 
@@ -54,6 +65,9 @@ func main() {
 		storeBytes   = flag.Int64("store-bytes", 1<<30, "on-disk result-store budget (payload bytes; needs -data-dir)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to finish queued and running jobs on shutdown")
 		quiet        = flag.Bool("quiet", false, "suppress per-job log lines")
+		chaosSpec    = flag.String("chaos", os.Getenv("QUARCD_CHAOS"), "fault-injection plan for the disk store, e.g. 'seed=42,err=0.1,torn=0.05,slow=0.02,delay=2ms,ops=4000' (default $QUARCD_CHAOS; empty = disabled)")
+		watchdog     = flag.Duration("watchdog-stall", 10*time.Minute, "cancel running jobs making no point progress for this long (0 = disabled)")
+		breakerK     = flag.Int("breaker-threshold", 5, "consecutive disk-store failures that open the circuit breaker (memory-cache-only until a probe succeeds)")
 	)
 	flag.Parse()
 
@@ -62,9 +76,21 @@ func main() {
 	if *quiet {
 		jobLog = nil
 	}
+	var chaos *faultinject.Plan
+	if *chaosSpec != "" {
+		spec, err := faultinject.ParseSpec(*chaosSpec)
+		if err != nil {
+			logger.Fatalf("-chaos: %v", err)
+		}
+		if *dataDir == "" {
+			logger.Fatalf("-chaos needs -data-dir: the fault plan wraps the disk store")
+		}
+		chaos = faultinject.New(spec)
+	}
 	svc, err := service.New(service.Config{
 		Workers: *workers, QueueCap: *queueCap, CacheBytes: *cacheBytes,
-		DataDir: *dataDir, StoreBytes: *storeBytes, Log: jobLog,
+		DataDir: *dataDir, StoreBytes: *storeBytes,
+		Chaos: chaos, WatchdogStall: *watchdog, BreakerThreshold: *breakerK, Log: jobLog,
 	})
 	if err != nil {
 		logger.Fatalf("init: %v", err)

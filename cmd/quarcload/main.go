@@ -2,8 +2,11 @@
 // concurrent clients submits single-run jobs with ?wait=1, mixing requests
 // that share a small pool of hot seeds (cache hits after first touch) with
 // unique-seed requests (forced simulations), then reports throughput,
-// latency percentiles, cache-hit and success rates. It exits non-zero unless
-// every request succeeded, so CI can use a burst as a serving smoke test.
+// latency percentiles, cache-hit, degraded-answer and success rates.
+// Transient 503s are retried with jittered exponential backoff honouring
+// Retry-After. It exits non-zero unless every request succeeded (and, with
+// -min-degraded, unless enough answers were degraded), so CI can use a burst
+// as a serving or chaos smoke test.
 //
 // With -follow it is instead a reconnect-and-replay event tailer: it streams
 // one job's NDJSON events (GET /v1/jobs/{id}/events), and on any broken
@@ -27,9 +30,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -54,6 +59,9 @@ func main() {
 		timeout = flag.Duration("timeout", 60*time.Second, "per-request timeout")
 		ready   = flag.Duration("ready-timeout", 10*time.Second, "how long to wait for the daemon to answer /healthz")
 		follow  = flag.String("follow", "", "tail one job's event stream (reconnect-and-replay) instead of generating load")
+
+		deadlineMs  = flag.Int64("deadline-ms", 0, "deadline_ms sent on every request (0 = none); expired analyzable runs come back as degraded analytic answers")
+		minDegraded = flag.Int("min-degraded", 0, "exit non-zero unless at least this many answers were degraded (chaos smoke: proves the degraded path fired)")
 	)
 	flag.Parse()
 	if *follow != "" {
@@ -75,9 +83,10 @@ func main() {
 	}
 
 	type sample struct {
-		latency time.Duration
-		cached  bool
-		err     error
+		latency  time.Duration
+		cached   bool
+		degraded bool
+		err      error
 	}
 	samples := make([]sample, *total)
 	var next atomic.Int64
@@ -95,6 +104,7 @@ func main() {
 				req := service.RunRequest{
 					Topo: *modelName, N: *nodes, MsgLen: 4, Beta: 0.05, Rate: *rate,
 					Warmup: 200, Measure: *measure, Drain: 5000,
+					DeadlineMs: *deadlineMs,
 				}
 				// Deterministic, evenly interleaved hot/cold split: request i
 				// is hot when the running count of hot requests should grow
@@ -108,15 +118,15 @@ func main() {
 					req.Seed = 0xC01D_0000 + uint64(i)
 				}
 				t0 := time.Now()
-				hit, err := post(client, *addr, req)
-				samples[i] = sample{latency: time.Since(t0), cached: hit, err: err}
+				hit, deg, err := post(client, *addr, req)
+				samples[i] = sample{latency: time.Since(t0), cached: hit, degraded: deg, err: err}
 			}
 		}()
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	var ok, hits int
+	var ok, hits, degraded int
 	var lats []float64
 	var firstErr error
 	for _, s := range samples {
@@ -130,6 +140,9 @@ func main() {
 		if s.cached {
 			hits++
 		}
+		if s.degraded {
+			degraded++
+		}
 		lats = append(lats, float64(s.latency.Microseconds())/1000.0)
 	}
 	sort.Float64s(lats)
@@ -142,6 +155,7 @@ func main() {
 	fmt.Printf("throughput      %.1f req/s\n", float64(ok)/elapsed.Seconds())
 	fmt.Printf("success rate    %.2f%% (%d/%d)\n", 100*float64(ok)/float64(*total), ok, *total)
 	fmt.Printf("cached          %.2f%% of successes (%d)\n", pct(hits, ok), hits)
+	fmt.Printf("degraded        %.2f%% of successes (%d analytic answers)\n", pct(degraded, ok), degraded)
 	if len(lats) > 0 {
 		fmt.Printf("latency p50     %.2f ms\n", stats.Percentile(lats, 50))
 		fmt.Printf("latency p95     %.2f ms\n", stats.Percentile(lats, 95))
@@ -151,6 +165,11 @@ func main() {
 	if ok != *total {
 		fmt.Fprintf(os.Stderr, "quarcload: %d/%d requests failed; first error: %v\n",
 			*total-ok, *total, firstErr)
+		os.Exit(1)
+	}
+	if degraded < *minDegraded {
+		fmt.Fprintf(os.Stderr, "quarcload: %d degraded answers, want at least %d\n",
+			degraded, *minDegraded)
 		os.Exit(1)
 	}
 }
@@ -266,33 +285,65 @@ func followJob(addr, id string, ready time.Duration) int {
 }
 
 // post submits one run with ?wait=1 and reports whether it was served from
-// cache.
-func post(client *http.Client, addr string, req service.RunRequest) (cached bool, err error) {
+// cache and whether the answer is a degraded analytic estimate. A 503
+// (queue full on an un-sheddable request, or the daemon draining) is retried
+// with jittered exponential backoff, honouring a Retry-After header when the
+// daemon provides one — transient backpressure should read as latency, not
+// failure.
+func post(client *http.Client, addr string, req service.RunRequest) (cached, degraded bool, err error) {
 	body, err := json.Marshal(req)
 	if err != nil {
-		return false, err
+		return false, false, err
 	}
-	resp, err := client.Post(addr+"/v1/runs?wait=1", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return false, err
+	const retries = 4
+	backoff := 100 * time.Millisecond
+	var resp *http.Response
+	for attempt := 0; ; attempt++ {
+		resp, err = client.Post(addr+"/v1/runs?wait=1", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return false, false, err
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable || attempt == retries {
+			break
+		}
+		wait := backoff + time.Duration(rand.Int63n(int64(backoff)))
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if secs, perr := strconv.Atoi(s); perr == nil && secs >= 0 {
+				wait = time.Duration(secs) * time.Second
+			}
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		time.Sleep(wait)
+		backoff *= 2
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return false, err
+		return false, false, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return false, fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(data))
+		return false, false, fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(data))
 	}
 	var job service.JobJSON
 	if err := json.Unmarshal(data, &job); err != nil {
-		return false, fmt.Errorf("decode job: %w", err)
+		return false, false, fmt.Errorf("decode job: %w", err)
 	}
 	if job.State != service.StateDone {
-		return false, fmt.Errorf("job %s finished %s: %s", job.ID, job.State, job.Error)
+		return false, false, fmt.Errorf("job %s finished %s: %s", job.ID, job.State, job.Error)
 	}
 	if len(job.Result) == 0 {
-		return false, fmt.Errorf("job %s done without result", job.ID)
+		return false, false, fmt.Errorf("job %s done without result", job.ID)
 	}
-	return job.Cached, nil
+	degraded = job.Degraded
+	if !degraded {
+		// The wire flag is authoritative, but double-check the payload: a
+		// degraded payload without the job flag would be a serving bug worth
+		// surfacing in the summary.
+		var rr service.RunResult
+		if json.Unmarshal(job.Result, &rr) == nil && rr.Degraded {
+			degraded = true
+		}
+	}
+	return job.Cached, degraded, nil
 }

@@ -128,7 +128,7 @@ func sweepRun(ctx context.Context, points []sweepPoint, workers int, onDone func
 				if i >= len(points) {
 					return
 				}
-				results[i], errs[i] = RunContext(ctx, points[i].Cfg)
+				results[i], errs[i] = runPointGuarded(ctx, points[i].Cfg)
 				if errs[i] == nil && onDone != nil {
 					onDone(i, results[i])
 				}
@@ -145,6 +145,21 @@ func sweepRun(ctx context.Context, points []sweepPoint, workers int, onDone func
 		}
 	}
 	return results, nil
+}
+
+// runPointGuarded isolates one design point: a panic anywhere in the
+// simulator fails that point with an error instead of unwinding through the
+// sweep's worker goroutine and killing the whole process, so one poisoned
+// configuration costs its own job, never its neighbours (or, under quarcd,
+// the daemon). RunPanelSerial stays unguarded on purpose — it is the
+// debugging reference, where a raw panic with its full stack is the feature.
+func runPointGuarded(ctx context.Context, cfg Config) (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("point panicked: %v", r)
+		}
+	}()
+	return RunContext(ctx, cfg)
 }
 
 // pointNotifier adapts a PointDone callback to sweepRun's (index, result)
@@ -363,7 +378,7 @@ func RunReplicatedContext(ctx context.Context, cfg Config, replicates, workers i
 	// "quarc".
 	name := cfg.ModelName()
 	if replicates == 1 {
-		res, err := RunContext(ctx, cfg)
+		res, err := runPointGuarded(ctx, cfg)
 		if err == nil && onDone != nil {
 			onDone(PointDone{Index: 0, Total: 1, Model: name, Rate: cfg.Rate, Result: res})
 		}

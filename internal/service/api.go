@@ -13,8 +13,10 @@ package service
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
+	"quarc/internal/analytic"
 	"quarc/internal/experiments"
 	"quarc/internal/model"
 	"quarc/internal/traffic"
@@ -148,6 +150,12 @@ type RunRequest struct {
 	// 1 = serial). Like workers it only changes wall-clock time, never the
 	// result, and stays out of the canonical cache key.
 	StepWorkers int `json:"step_workers,omitempty"`
+	// DeadlineMs bounds the whole request, queueing included, in
+	// milliseconds (0 = none). On expiry an analyzable run is answered
+	// instantly from the closed-form analytic model with `degraded: true`
+	// and the validation suite's error band instead of an error. Like
+	// workers it stays out of the canonical cache key.
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
 }
 
 // Config validates the request and converts it to a normalised simulator
@@ -244,6 +252,10 @@ type PanelRequest struct {
 	McastSize   int       `json:"mcast_size,omitempty"`
 	Rates       []float64 `json:"rates,omitempty"`
 	Opts        SweepOpts `json:"opts,omitempty"`
+	// DeadlineMs bounds the whole request in milliseconds (0 = none). Panels
+	// have no analytic fallback, so expiry fails the job with "deadline
+	// exceeded" rather than degrading.
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
 }
 
 // SpecOpts validates the request and converts it to the sweep engine's
@@ -432,9 +444,22 @@ func EncodeResult(r experiments.Result) ResultJSON {
 
 // RunResult is the payload of a completed run job (and of quarcsim -json):
 // the replicate aggregate plus, when replicated, the per-replicate results.
+//
+// Degraded marks the payload as an instant closed-form analytic estimate
+// served because the request's deadline expired or the queue shed load:
+// Result then carries the model's mean-latency prediction (latency
+// percentile, broadcast and count fields are zero — the analytic model does
+// not predict them) and ErrorBand quotes the validation suite's measured
+// envelope against the simulator. Degraded payloads are never cached, so a
+// later identical request gets the exact simulated answer. All three fields
+// are omitted on normal payloads, keeping every pre-existing result
+// byte-identical.
 type RunResult struct {
-	Result     ResultJSON   `json:"result"`
-	Replicates []ResultJSON `json:"replicates,omitempty"`
+	Result         ResultJSON   `json:"result"`
+	Replicates     []ResultJSON `json:"replicates,omitempty"`
+	Degraded       bool         `json:"degraded,omitempty"`
+	DegradedReason string       `json:"degraded_reason,omitempty"`
+	ErrorBand      float64      `json:"error_band,omitempty"`
 }
 
 // EncodeRun converts a replicated run to its wire form — the single encoding
@@ -448,6 +473,42 @@ func EncodeRun(agg experiments.Result, reps []experiments.Result) RunResult {
 		}
 	}
 	return out
+}
+
+// EncodeDegradedRun builds the degraded analytic answer for a run whose
+// exact result can no longer be produced in time: the closed-form model's
+// mean-latency prediction in the normal RunResult shape, flagged degraded
+// with the stated reason and internal/analytic's validated error band. ok is
+// false when the workload sits outside the analytic models' validated domain
+// (non-uniform patterns, bursty sources, multicast) or the model is not
+// covered — such requests fail instead of answering with an unquantified
+// guess. Offered loads past the saturation bound report Saturated with the
+// saturation rate as throughput (the M/D/1 mean diverges there).
+func EncodeDegradedRun(cfg experiments.Config, reason string) (RunResult, bool) {
+	if !analyzableWorkload(cfg) {
+		return RunResult{}, false
+	}
+	pred, ok := analytic.ForModel(cfg.ModelName(), cfg.N, cfg.MsgLen, cfg.Rate)
+	if !ok {
+		return RunResult{}, false
+	}
+	res := ResultJSON{
+		Topo: cfg.ModelName(), N: cfg.N, MsgLen: cfg.MsgLen, Beta: cfg.Beta,
+		Rate: cfg.Rate, Pattern: PatternName(cfg.Pattern), Seed: cfg.Seed,
+	}
+	if pred.MaxChannelUtil >= 1 || math.IsInf(pred.MeanLatency, 0) || math.IsNaN(pred.MeanLatency) {
+		res.Saturated = true
+		res.Throughput = pred.SaturationRate
+	} else {
+		res.UnicastMean = pred.MeanLatency
+		res.Throughput = cfg.Rate
+	}
+	return RunResult{
+		Result:         res,
+		Degraded:       true,
+		DegradedReason: reason,
+		ErrorBand:      analytic.ErrorBand,
+	}, true
 }
 
 // PanelResultJSON is the payload of a completed panel job (and of

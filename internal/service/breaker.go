@@ -1,0 +1,154 @@
+package service
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position. The numeric values are the
+// wire contract of the quarcd_store_breaker_state gauge.
+type BreakerState int
+
+const (
+	BreakerClosed   BreakerState = 0 // dependency healthy, traffic flows
+	BreakerOpen     BreakerState = 1 // dependency failing, traffic blocked
+	BreakerHalfOpen BreakerState = 2 // backoff elapsed, one probe in flight
+)
+
+// String names the state for logs.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// Breaker is a consecutive-failure circuit breaker guarding the disk store.
+// threshold consecutive failures open it; while open, every Allow is refused
+// (the server falls back to memory-cache-only) until a jittered exponential
+// backoff elapses, at which point exactly one caller is admitted as a
+// half-open probe. A successful probe closes the breaker; a failed probe
+// reopens it with a doubled backoff. Safe for concurrent use.
+type Breaker struct {
+	threshold int
+	base      time.Duration
+	max       time.Duration
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int       // consecutive failures while closed
+	streak   int       // consecutive opens without an intervening success
+	until    time.Time // earliest half-open probe while open
+	opens    uint64
+}
+
+// NewBreaker builds a breaker opening after threshold consecutive failures,
+// probing after a backoff starting at base and capped at max.
+func NewBreaker(threshold int, base, max time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max < base {
+		max = base
+	}
+	return &Breaker{threshold: threshold, base: base, max: max}
+}
+
+// Allow reports whether the caller may use the guarded dependency. While
+// open it refuses until the backoff elapses, then admits a single probe
+// (transitioning to half-open); further callers are refused until that probe
+// reports Success or Failure.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerHalfOpen:
+		return false // a probe is already in flight
+	default: // open
+		if time.Now().Before(b.until) {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		return true
+	}
+}
+
+// Success reports a healthy operation: it resets the failure count and, from
+// half-open, closes the breaker.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.streak = 0
+	b.state = BreakerClosed
+}
+
+// Neutral reports an operation that touched the dependency without proving
+// it healthy or broken — a pure index miss that performed no I/O. Closed
+// stays closed with the failure count intact (a miss is not evidence the
+// disk recovered); a half-open probe that lands on one releases the probe
+// slot back to open with the backoff already elapsed, so the next caller
+// probes again immediately instead of wedging the breaker half-open.
+func (b *Breaker) Neutral() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.state = BreakerOpen
+	}
+}
+
+// Failure reports a failed operation: from closed it counts toward the
+// threshold; the threshold crossing — and any failed half-open probe —
+// (re)opens the breaker with a jittered exponential backoff that doubles per
+// consecutive open.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerOpen:
+		return // already open; concurrent stragglers don't extend the backoff
+	case BreakerClosed:
+		b.failures++
+		if b.failures < b.threshold {
+			return
+		}
+	}
+	// threshold crossed, or a half-open probe failed: (re)open.
+	b.state = BreakerOpen
+	b.failures = 0
+	b.opens++
+	backoff := b.base << b.streak
+	if backoff > b.max || backoff <= 0 {
+		backoff = b.max
+	}
+	if b.streak < 30 {
+		b.streak++
+	}
+	// Jitter in [0.5, 1.5)x so probes from restarted replicas don't align.
+	jittered := time.Duration(float64(backoff) * (0.5 + rand.Float64()))
+	b.until = time.Now().Add(jittered)
+}
+
+// State returns the breaker's current position.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Opens returns the cumulative closed->open (and half-open->open)
+// transitions.
+func (b *Breaker) Opens() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

@@ -1,0 +1,138 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+// The breaker trips after exactly threshold consecutive failures, refuses
+// while open, admits a single half-open probe once the backoff elapses, and
+// closes again on a successful probe.
+func TestBreakerLifecycle(t *testing.T) {
+	b := NewBreaker(3, time.Millisecond, 10*time.Millisecond)
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("new breaker not closed/allowing")
+	}
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after 2/3 failures = %v, want closed", b.State())
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after 3/3 failures = %v, want open", b.State())
+	}
+	if n := b.Opens(); n != 1 {
+		t.Fatalf("opens = %d, want 1", n)
+	}
+
+	// Wait out the worst-case jittered backoff (1.5x base), polling Allow.
+	deadline := time.Now().Add(time.Second)
+	for !b.Allow() {
+		if time.Now().After(deadline) {
+			t.Fatal("breaker never admitted a half-open probe")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after admitted probe = %v, want half-open", b.State())
+	}
+	// Only one probe at a time.
+	if b.Allow() {
+		t.Fatal("second caller admitted while a probe is in flight")
+	}
+	b.Success()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("successful probe did not close the breaker")
+	}
+}
+
+// A failed half-open probe reopens the breaker (counted as another open),
+// and an intervening success fully resets the consecutive-failure count.
+func TestBreakerProbeFailureReopensAndSuccessResets(t *testing.T) {
+	b := NewBreaker(2, time.Millisecond, 5*time.Millisecond)
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("breaker not open")
+	}
+	deadline := time.Now().Add(time.Second)
+	for !b.Allow() {
+		if time.Now().After(deadline) {
+			t.Fatal("no probe admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.Failure() // the probe fails
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	if n := b.Opens(); n != 2 {
+		t.Fatalf("opens = %d, want 2", n)
+	}
+
+	// Recover, then check one failure alone no longer trips it.
+	deadline = time.Now().Add(time.Second)
+	for !b.Allow() {
+		if time.Now().After(deadline) {
+			t.Fatal("no second probe admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.Success()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("single failure after success tripped the breaker: count not reset")
+	}
+}
+
+// A neutral outcome (no I/O evidence either way) must not reset the failure
+// count while closed, and must release a half-open probe slot for an
+// immediate re-probe instead of wedging the breaker.
+func TestBreakerNeutralOutcomes(t *testing.T) {
+	b := NewBreaker(2, time.Millisecond, 5*time.Millisecond)
+	b.Failure()
+	b.Neutral() // e.g. an index miss between two disk failures
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("neutral outcome reset the consecutive-failure count")
+	}
+	deadline := time.Now().Add(time.Second)
+	for !b.Allow() {
+		if time.Now().After(deadline) {
+			t.Fatal("no probe admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.Neutral() // the probe performed no I/O: no verdict
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after neutral probe = %v, want open", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("neutral probe did not release the slot for an immediate re-probe")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatal("successful re-probe did not close the breaker")
+	}
+}
+
+// While open and inside the backoff window, Allow refuses without admitting
+// probes; extra Failure calls from concurrent stragglers neither extend the
+// backoff nor count extra opens.
+func TestBreakerOpenRefusesAndIgnoresStragglers(t *testing.T) {
+	b := NewBreaker(1, time.Hour, time.Hour)
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("breaker not open")
+	}
+	for i := 0; i < 5; i++ {
+		if b.Allow() {
+			t.Fatal("open breaker inside backoff admitted a caller")
+		}
+		b.Failure()
+	}
+	if n := b.Opens(); n != 1 {
+		t.Fatalf("straggler failures counted opens: %d, want 1", n)
+	}
+}

@@ -11,6 +11,8 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"quarc/internal/analytic"
 )
 
 // quickRun is a sub-second single-point run for durability tests.
@@ -234,7 +236,7 @@ func TestInteractiveOvertakesQueuedBatch(t *testing.T) {
 
 // Queue backpressure answers 503 with a Retry-After hint and counts the
 // rejection.
-func TestQueueFullAnswers503WithRetryAfter(t *testing.T) {
+func TestQueueFullShedsRunsDegradedAndPanels503(t *testing.T) {
 	svc, ts := newTestServer(t, Config{Workers: 1, QueueCap: 1})
 	long := RunRequest{N: 8, MsgLen: 4, Rate: 0.002, Warmup: 100, Measure: 400_000_000, Seed: 50}
 	_, d1 := postJSON(t, ts.URL+"/v1/runs", long)
@@ -248,10 +250,37 @@ func TestQueueFullAnswers503WithRetryAfter(t *testing.T) {
 	if resp, body := postJSON(t, ts.URL+"/v1/runs", long); resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("queue-filling submission: %s: %s", resp.Status, body)
 	}
+
+	// An analyzable run turned away by the full queue is shed with an
+	// instant degraded analytic answer, not a 503.
 	long.Seed = 52 // distinct key: over capacity
 	resp, body := postJSON(t, ts.URL+"/v1/runs", long)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("over-capacity run: %s: %s", resp.Status, body)
+	}
+	var shed JobJSON
+	if err := json.Unmarshal(body, &shed); err != nil {
+		t.Fatal(err)
+	}
+	if shed.State != StateDone || !shed.Degraded {
+		t.Fatalf("shed run state=%s degraded=%v, want done degraded", shed.State, shed.Degraded)
+	}
+	var rr RunResult
+	if err := json.Unmarshal(shed.Result, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if !rr.Degraded || rr.ErrorBand != analytic.ErrorBand || rr.DegradedReason == "" {
+		t.Fatalf("shed payload degraded=%v band=%v reason=%q", rr.Degraded, rr.ErrorBand, rr.DegradedReason)
+	}
+	if n := svc.Snapshot().DegradedAnswers; n != 1 {
+		t.Fatalf("degraded answers = %d, want 1", n)
+	}
+
+	// A panel has no analytic fallback: the full queue still answers 503
+	// with Retry-After, and the rejection is counted.
+	resp, body = postJSON(t, ts.URL+"/v1/panels", tinyPanel())
 	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("over-capacity submission: %s: %s", resp.Status, body)
+		t.Fatalf("over-capacity panel: %s: %s", resp.Status, body)
 	}
 	if got := resp.Header.Get("Retry-After"); got == "" {
 		t.Fatal("503 carries no Retry-After header")

@@ -42,6 +42,10 @@ type ExploreRequest struct {
 	CostWidth int `json:"cost_width,omitempty"`
 
 	Opts SweepOpts `json:"opts,omitempty"`
+	// DeadlineMs bounds the whole request in milliseconds (0 = none).
+	// Explores have no analytic fallback, so expiry fails the job with
+	// "deadline exceeded" rather than degrading.
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
 }
 
 // SpecOpts validates the request, normalises it into the exploration

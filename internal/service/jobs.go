@@ -44,7 +44,10 @@ type Event struct {
 	Rep         int     `json:"rep,omitempty"`
 	UnicastMean float64 `json:"unicast_mean,omitempty"`
 	Cached      bool    `json:"cached,omitempty"`
-	Error       string  `json:"error,omitempty"`
+	// Degraded marks a terminal state whose result is an analytic estimate
+	// served under deadline pressure or load shedding, not a simulation.
+	Degraded bool   `json:"degraded,omitempty"`
+	Error    string `json:"error,omitempty"`
 }
 
 // jobWork is the parsed, validated request a job executes — exactly one of
@@ -53,6 +56,12 @@ type jobWork struct {
 	run     *runWork
 	panel   *panelWork
 	explore *exploreWork
+	// deadline is the request's deadline_ms budget, measured from submission
+	// (queueing time counts — the client asked for an answer within the
+	// budget, not a simulation started within it). 0 means none. It never
+	// enters the canonical cache key: identical configurations share results
+	// whatever their deadlines.
+	deadline time.Duration
 }
 
 type runWork struct {
@@ -101,6 +110,7 @@ type Job struct {
 	changed   chan struct{}
 	state     State
 	cached    bool
+	degraded  bool
 	errMsg    string
 	result    []byte
 	events    []Event
@@ -109,6 +119,18 @@ type Job struct {
 	created   time.Time
 	started   time.Time
 	finished  time.Time
+	// deadlineAt is the absolute deadline derived from work.deadline at
+	// submission (zero = none). Recovered jobs never carry one: their budget
+	// expired with the daemon that accepted them, and failing them for it
+	// after a restart would punish the client for our crash.
+	deadlineAt time.Time
+	// progress is the watchdog's heartbeat: the last time the job entered
+	// running or completed a sweep point.
+	progress time.Time
+	// killMsg records the watchdog's diagnosis when it cancelled the job, so
+	// the executor reports a diagnosed failure instead of a silent
+	// cancellation.
+	killMsg string
 	// journaled marks the job's journal header as written (maintained by
 	// the server's sink, guarded by mu like the rest).
 	journaled bool
@@ -121,6 +143,9 @@ func newJob(id, kind, key string, req json.RawMessage, work jobWork, class Class
 		changed: make(chan struct{}),
 		state:   StateQueued, created: time.Now(),
 	}
+	if work.deadline > 0 {
+		j.deadlineAt = j.created.Add(work.deadline)
+	}
 	j.appendEventLocked(Event{Type: "state", State: StateQueued})
 	return j
 }
@@ -130,7 +155,7 @@ func newJob(id, kind, key string, req json.RawMessage, work jobWork, class Class
 // registers it with Store.addRecovered and, for non-terminal states,
 // re-enqueues it.
 func restoreJob(id, kind, key string, req json.RawMessage, events []Event, st State,
-	cached bool, errMsg string, done, total int, created time.Time,
+	cached, degraded bool, errMsg string, done, total int, created time.Time,
 	class Class, onTerminal func(State), sink func(*Job, Event)) *Job {
 	if created.IsZero() {
 		created = time.Now()
@@ -139,7 +164,7 @@ func restoreJob(id, kind, key string, req json.RawMessage, events []Event, st St
 		ID: id, Kind: kind, Key: key, Request: req,
 		class: class, onTerminal: onTerminal, sink: sink,
 		changed: make(chan struct{}),
-		state:   st, cached: cached, errMsg: errMsg,
+		state:   st, cached: cached, degraded: degraded, errMsg: errMsg,
 		events: events, done: done, total: total,
 		created: created, journaled: true,
 	}
@@ -181,11 +206,12 @@ func (j *Job) setState(s State, errMsg string) bool {
 	switch s {
 	case StateRunning:
 		j.started = time.Now()
+		j.progress = j.started
 	case StateDone, StateFailed, StateCancelled:
 		j.finished = time.Now()
 	}
 	j.errMsg = errMsg
-	j.appendEventLocked(Event{Type: "state", State: s, Cached: j.cached, Error: errMsg})
+	j.appendEventLocked(Event{Type: "state", State: s, Cached: j.cached, Degraded: j.degraded, Error: errMsg})
 	j.notifyLocked()
 	terminal := s.terminal()
 	hook := j.onTerminal
@@ -220,6 +246,7 @@ func (j *Job) pointDone(pd experiments.PointDone, cached bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.done++
+	j.progress = time.Now()
 	if pd.Total > j.total {
 		j.total = pd.Total
 	}
@@ -251,16 +278,80 @@ func (j *Job) finish(result []byte, cached bool) bool {
 	return j.setState(StateDone, "")
 }
 
-// resultPayload returns the canonical result bytes of a successfully
-// finished job. ok is false while the job is live or if it ended any other
-// way.
-func (j *Job) resultPayload() ([]byte, bool) {
+// finishDegraded marks the job done with an analytic degraded payload,
+// reporting whether the transition took effect. The payload is never routed
+// to the result cache — a later identical request deserves the exact answer.
+func (j *Job) finishDegraded(result []byte) bool {
+	j.mu.Lock()
+	if j.state.terminal() {
+		j.mu.Unlock()
+		return false
+	}
+	j.result = result
+	j.degraded = true
+	j.mu.Unlock()
+	return j.setState(StateDone, "")
+}
+
+// resultPayload returns the result bytes of a finished job and whether they
+// are a degraded analytic estimate. ok is false while the job is live or if
+// it ended any other way.
+func (j *Job) resultPayload() (payload []byte, degraded, ok bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state != StateDone {
-		return nil, false
+		return nil, false, false
 	}
-	return j.result, true
+	return j.result, j.degraded, true
+}
+
+// IsDegraded reports whether the job finished with a degraded analytic
+// answer.
+func (j *Job) IsDegraded() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.degraded
+}
+
+// deadlineTime returns the job's absolute deadline, if it has one.
+func (j *Job) deadlineTime() (time.Time, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.deadlineAt, !j.deadlineAt.IsZero()
+}
+
+// progressAt reports the watchdog heartbeat: the last progress time, the
+// point counters, and whether the job is currently running.
+func (j *Job) progressAt() (last time.Time, done, total int, running bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.progress, j.done, j.total, j.state == StateRunning
+}
+
+// kill cancels a running job on the watchdog's behalf, recording msg as the
+// diagnosis the executor will fail it with. Queued and terminal jobs are
+// left alone (a queued job has made exactly the progress it should have).
+func (j *Job) kill(msg string) bool {
+	j.mu.Lock()
+	if j.state != StateRunning || j.killMsg != "" {
+		j.mu.Unlock()
+		return false
+	}
+	j.killMsg = msg
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel == nil {
+		return false
+	}
+	cancel()
+	return true
+}
+
+// killReason returns the watchdog diagnosis, if the job was killed.
+func (j *Job) killReason() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.killMsg
 }
 
 // setCancel hands the job its execution context's cancel function. The
@@ -353,10 +444,14 @@ func (j *Job) WaitTerminal(ctx context.Context) {
 // so two jobs served from the same cache line embed byte-identical results;
 // Request echoes the submitted body for auditability.
 type JobJSON struct {
-	ID       string          `json:"id"`
-	Kind     string          `json:"kind"`
-	State    State           `json:"state"`
-	Cached   bool            `json:"cached"`
+	ID     string `json:"id"`
+	Kind   string `json:"kind"`
+	State  State  `json:"state"`
+	Cached bool   `json:"cached"`
+	// Degraded marks a job answered with an instant analytic estimate (see
+	// RunResult.Degraded) instead of a simulation; pre-deadline-era payloads
+	// are unchanged because the field is omitted when false.
+	Degraded bool            `json:"degraded,omitempty"`
 	Done     int             `json:"done"`
 	Total    int             `json:"total"`
 	Error    string          `json:"error,omitempty"`
@@ -379,7 +474,7 @@ func (j *Job) Snapshot(withResult bool) JobJSON {
 		return ts.UTC().Format(time.RFC3339Nano)
 	}
 	out := JobJSON{
-		ID: j.ID, Kind: j.Kind, State: j.state, Cached: j.cached,
+		ID: j.ID, Kind: j.Kind, State: j.state, Cached: j.cached, Degraded: j.degraded,
 		Done: j.done, Total: j.total, Error: j.errMsg,
 		Created: t(j.created), Started: t(j.started), Finished: t(j.finished),
 	}

@@ -29,6 +29,14 @@ type Metrics struct {
 	explorePointsExpanded atomic.Uint64
 	explorePointsDeduped  atomic.Uint64
 	explorePointsCacheHit atomic.Uint64
+	// Robustness counters: degraded analytic answers served under deadline
+	// pressure or load shedding, jobs the watchdog cancelled for making no
+	// progress, panics converted into single-job failures, and disk-store
+	// I/O failures (the circuit breaker's input signal).
+	degradedAnswers atomic.Uint64
+	watchdogCancels atomic.Uint64
+	panicsRecovered atomic.Uint64
+	storeFaults     atomic.Uint64
 }
 
 // NewMetrics starts the uptime clock.
@@ -63,6 +71,12 @@ type MetricsSnapshot struct {
 	QueueInteractive      int
 	QueueBatch            int
 	JobsRunning           int
+	DegradedAnswers       uint64
+	WatchdogCancels       uint64
+	PanicsRecovered       uint64
+	StoreFaults           uint64
+	BreakerState          BreakerState
+	BreakerOpens          uint64
 }
 
 // CyclesPerSecond is the lifetime average simulation throughput.
@@ -117,5 +131,11 @@ func (m MetricsSnapshot) writeProm(w io.Writer) {
 	c("quarcd_explore_points_expanded_total", "Lattice points expanded by explore jobs.", m.ExplorePointsExpanded)
 	c("quarcd_explore_points_deduped_total", "Duplicate lattice points collapsed at explore expansion.", m.ExplorePointsDeduped)
 	c("quarcd_explore_points_cache_hit_total", "Explore lattice points answered from the per-point result cache.", m.ExplorePointsCacheHit)
+	c("quarcd_degraded_answers_total", "Jobs answered with a degraded analytic estimate under deadline pressure or load shedding.", m.DegradedAnswers)
+	c("quarcd_watchdog_cancels_total", "Running jobs the watchdog cancelled for making no point progress.", m.WatchdogCancels)
+	c("quarcd_panics_recovered_total", "Job panics converted into single-job failures instead of daemon crashes.", m.PanicsRecovered)
+	c("quarcd_store_faults_total", "Disk result-store I/O failures observed by the serving path.", m.StoreFaults)
+	g("quarcd_store_breaker_state", "Disk-store circuit breaker state: 0 closed, 1 open, 2 half-open.", float64(m.BreakerState))
+	c("quarcd_store_breaker_opens_total", "Disk-store circuit breaker open transitions.", m.BreakerOpens)
 	g("quarcd_cycles_per_second", "Lifetime average simulated cycles per wall-clock second.", m.CyclesPerSecond())
 }

@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"fmt"
 	"time"
 )
 
@@ -75,7 +76,13 @@ func (s *Server) recoverJobs() {
 	}
 	for _, id := range ids {
 		lines, err := s.journal.Replay(id)
-		if err != nil || len(lines) == 0 {
+		if err != nil {
+			// A transient read failure (a flaky disk at boot) must not cost
+			// the journal itself: skip it this boot, keep the file.
+			s.log.Printf("recovery: journal %s unreadable, skipping: %v", id, err)
+			continue
+		}
+		if len(lines) == 0 {
 			s.journal.Remove(id)
 			continue
 		}
@@ -86,7 +93,7 @@ func (s *Server) recoverJobs() {
 		}
 		var events []Event
 		st := StateQueued
-		var cached bool
+		var cached, degraded bool
 		var errMsg string
 		var done, total int
 		for _, line := range lines[1:] {
@@ -97,7 +104,7 @@ func (s *Server) recoverJobs() {
 			events = append(events, e)
 			switch e.Type {
 			case "state":
-				st, cached, errMsg = e.State, e.Cached, e.Error
+				st, cached, degraded, errMsg = e.State, e.Cached, e.Degraded, e.Error
 			case "point", "truncated":
 				done, total = e.Done, e.Total
 			}
@@ -106,8 +113,11 @@ func (s *Server) recoverJobs() {
 
 		if st.terminal() {
 			j := restoreJob(id, hdr.Kind, hdr.Key, hdr.Request, events, st,
-				cached, errMsg, done, total, created, ClassBatch, nil, s.journalEvent)
-			if st == StateDone {
+				cached, degraded, errMsg, done, total, created, ClassBatch, nil, s.journalEvent)
+			// Degraded payloads are analytic estimates that were deliberately
+			// kept out of the store, so only exact results re-attach here; a
+			// recovered degraded job keeps its flag but serves no payload.
+			if st == StateDone && !degraded {
 				if b, ok := s.disk.Get(hdr.Key); ok {
 					j.result = b
 				}
@@ -128,9 +138,13 @@ func (s *Server) recoverJobs() {
 			continue
 		}
 		// Progress counters restart at zero: the re-run simulates from scratch
-		// and its fresh point events count up from one again.
+		// and its fresh point events count up from one again. Any deadline_ms
+		// the request carried is deliberately not rearmed (restoreJob leaves
+		// deadlineAt zero): the budget expired with the daemon that accepted
+		// the job, and a correct late answer beats a degraded punctual one
+		// for work the client already waited a restart for.
 		j := restoreJob(id, hdr.Kind, hdr.Key, hdr.Request, events, StateQueued,
-			false, "", 0, 0, created, class, s.countOutcome, s.journalEvent)
+			false, false, "", 0, 0, created, class, s.countOutcome, s.journalEvent)
 		j.work = work
 		s.store.addRecovered(j)
 		j.mu.Lock()
@@ -174,15 +188,28 @@ func workFor(kind string, raw json.RawMessage) (jobWork, Class, error) {
 	}
 }
 
+// deadlineFor validates a deadline_ms field into the work deadline duration.
+func deadlineFor(ms int64) (time.Duration, error) {
+	if ms < 0 {
+		return 0, fmt.Errorf("deadline_ms %d must be non-negative", ms)
+	}
+	return time.Duration(ms) * time.Millisecond, nil
+}
+
 // buildRun validates a run request into its canonical key, executable work
 // and scheduling class (interactive unless the analytic cost estimate says
-// the run is batch-sized).
+// the run is batch-sized). The deadline rides on the work, never the key:
+// identical configurations share cache entries whatever their deadlines.
 func buildRun(req RunRequest) (string, jobWork, Class, error) {
 	cfg, err := req.Config()
 	if err != nil {
 		return "", jobWork{}, ClassBatch, err
 	}
-	work := jobWork{run: &runWork{cfg: cfg, replicates: req.replicates(), workers: req.Workers}}
+	deadline, err := deadlineFor(req.DeadlineMs)
+	if err != nil {
+		return "", jobWork{}, ClassBatch, err
+	}
+	work := jobWork{run: &runWork{cfg: cfg, replicates: req.replicates(), workers: req.Workers}, deadline: deadline}
 	return RunKey(cfg, req.replicates()), work, classifyRun(cfg, req.replicates()), nil
 }
 
@@ -193,7 +220,11 @@ func buildPanel(req PanelRequest) (string, jobWork, Class, error) {
 	if err != nil {
 		return "", jobWork{}, ClassBatch, err
 	}
-	work := jobWork{panel: &panelWork{spec: spec, opts: opts}}
+	deadline, err := deadlineFor(req.DeadlineMs)
+	if err != nil {
+		return "", jobWork{}, ClassBatch, err
+	}
+	work := jobWork{panel: &panelWork{spec: spec, opts: opts}, deadline: deadline}
 	return PanelKey(spec, opts), work, ClassBatch, nil
 }
 
@@ -204,6 +235,10 @@ func buildExplore(req ExploreRequest) (string, jobWork, Class, error) {
 	if err != nil {
 		return "", jobWork{}, ClassBatch, err
 	}
-	work := jobWork{explore: &exploreWork{spec: spec, opts: opts, points: len(exp.Points), deduped: exp.Deduped}}
+	deadline, err := deadlineFor(req.DeadlineMs)
+	if err != nil {
+		return "", jobWork{}, ClassBatch, err
+	}
+	work := jobWork{explore: &exploreWork{spec: spec, opts: opts, points: len(exp.Points), deduped: exp.Deduped}, deadline: deadline}
 	return ExploreKey(spec, opts), work, ClassBatch, nil
 }

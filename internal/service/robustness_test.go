@@ -1,0 +1,281 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"quarc/internal/analytic"
+	"quarc/internal/faultinject"
+	"quarc/internal/model"
+	"quarc/internal/network"
+)
+
+// panictest is a registry model whose builder always panics — the class of
+// third-party bug per-job panic isolation exists for. Registered for this
+// test binary only.
+func init() {
+	model.Register(model.Model{
+		Name:        "panictest",
+		Description: "test-only model that panics at build time",
+		ExampleN:    8,
+		Build: func(model.BuildConfig) (*network.Fabric, []model.Node, error) {
+			panic("injected model bug")
+		},
+	})
+}
+
+// An analyzable run that outlives its deadline_ms is answered with the
+// closed-form analytic estimate flagged degraded — and that estimate is
+// never cached, so an identical later request without pressure still gets
+// the exact simulation.
+func TestDeadlineExpiredRunAnswersDegraded(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 1})
+	req := slowRun() // uniform pattern: inside the analytic models' domain
+	req.Measure = 400_000_000
+	req.DeadlineMs = 400
+	job := submitWait(t, ts, "/v1/runs", req)
+	if job.State != StateDone || !job.Degraded {
+		t.Fatalf("state=%s degraded=%v (%s), want done degraded", job.State, job.Degraded, job.Error)
+	}
+	var rr RunResult
+	if err := json.Unmarshal(job.Result, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if !rr.Degraded || rr.ErrorBand != analytic.ErrorBand {
+		t.Fatalf("payload degraded=%v band=%v, want true/%v", rr.Degraded, rr.ErrorBand, analytic.ErrorBand)
+	}
+	if !strings.Contains(rr.DegradedReason, "deadline") {
+		t.Fatalf("degraded reason %q does not name the deadline", rr.DegradedReason)
+	}
+	if rr.Result.Topo != "quarc" || rr.Result.N != req.N {
+		t.Fatalf("degraded payload misdescribes the request: %+v", rr.Result)
+	}
+	if n := svc.Snapshot().DegradedAnswers; n != 1 {
+		t.Fatalf("degraded answers = %d, want 1", n)
+	}
+
+	// The degraded answer must not have poisoned either cache tier: the
+	// identical resubmission simulates again (and degrades again), it is not
+	// served as a cached exact result.
+	again := submitWait(t, ts, "/v1/runs", req)
+	if !again.Degraded || again.Cached {
+		t.Fatalf("resubmission degraded=%v cached=%v, want degraded uncached", again.Degraded, again.Cached)
+	}
+	if n := svc.Snapshot().DegradedAnswers; n != 2 {
+		t.Fatalf("degraded answers after resubmit = %d, want 2", n)
+	}
+
+	// A negative deadline is a validation error, not a job.
+	req.DeadlineMs = -5
+	if resp, body := postJSON(t, ts.URL+"/v1/runs", req); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("deadline_ms=-5: %s: %s", resp.Status, body)
+	}
+}
+
+// Panels have no analytic fallback: an expired deadline fails the job with
+// the reason, it does not invent a degraded answer.
+func TestDeadlineExpiredPanelFails(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	p := tinyPanel()
+	p.Opts.Measure = 400_000_000
+	p.DeadlineMs = 300
+	_, data := postJSON(t, ts.URL+"/v1/panels", p)
+	var job JobJSON
+	if err := json.Unmarshal(data, &job); err != nil {
+		t.Fatal(err)
+	}
+	failed := waitState(t, ts, job.ID, StateFailed, 30*time.Second)
+	if !strings.Contains(failed.Error, "deadline") {
+		t.Fatalf("panel failure %q does not name the deadline", failed.Error)
+	}
+}
+
+// A run outside the analytic models' validated domain (here: hotspot
+// traffic) also fails on deadline expiry instead of answering with an
+// unquantified guess.
+func TestDeadlineExpiredUnanalyzableRunFails(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 1})
+	req := slowRun()
+	req.Measure = 400_000_000
+	req.Pattern = "hotspot"
+	req.HotspotBias = 0.5
+	req.DeadlineMs = 300
+	_, data := postJSON(t, ts.URL+"/v1/runs", req)
+	var job JobJSON
+	if err := json.Unmarshal(data, &job); err != nil {
+		t.Fatal(err)
+	}
+	failed := waitState(t, ts, job.ID, StateFailed, 30*time.Second)
+	if !strings.Contains(failed.Error, "deadline") {
+		t.Fatalf("failure %q does not name the deadline", failed.Error)
+	}
+	if n := svc.Snapshot().DegradedAnswers; n != 0 {
+		t.Fatalf("unanalyzable run produced %d degraded answers, want 0", n)
+	}
+}
+
+// Disk-store faults must never surface as 5xx: the breaker opens after the
+// configured consecutive failures, the server degrades to memory-cache-only,
+// and once the fault episode ends a half-open probe closes the breaker and
+// disk persistence resumes.
+func TestStoreFaultsOpenBreakerThenRecover(t *testing.T) {
+	dir := t.TempDir()
+	plan := faultinject.New(faultinject.Spec{Seed: 11, ErrRate: 1, MaxOps: 30})
+	svc, ts := newTestServer(t, Config{
+		Workers: 1, DataDir: dir, BreakerThreshold: 2, Chaos: plan,
+	})
+
+	// Every request answers 200 while the disk store fails every operation.
+	req := quickRun()
+	for seed := uint64(60); seed < 64; seed++ {
+		req.Seed = seed
+		job := submitWait(t, ts, "/v1/runs", req)
+		if job.State != StateDone || job.Degraded {
+			t.Fatalf("seed %d under store faults: state=%s degraded=%v (%s)",
+				seed, job.State, job.Degraded, job.Error)
+		}
+	}
+	snap := svc.Snapshot()
+	if snap.StoreFaults < 2 {
+		t.Fatalf("store faults = %d, want >= 2 (plan injected %d)", snap.StoreFaults, plan.Stats().Injected())
+	}
+	if snap.BreakerOpens == 0 {
+		t.Fatal("breaker never opened under a 100% store fault rate")
+	}
+	// Memory cache still serves the whole answer path.
+	req.Seed = 60
+	if job := submitWait(t, ts, "/v1/runs", req); !job.Cached {
+		t.Fatal("memory cache missed while the breaker guarded the disk")
+	}
+
+	// The plan quiets after MaxOps: fresh submissions admit a half-open
+	// probe once the backoff elapses, the probe succeeds, and entries start
+	// landing on disk again.
+	deadline := time.Now().Add(20 * time.Second)
+	seed := uint64(100)
+	for {
+		req.Seed = seed
+		seed++
+		if job := submitWait(t, ts, "/v1/runs", req); job.State != StateDone {
+			t.Fatalf("post-chaos run: %s (%s)", job.State, job.Error)
+		}
+		s := svc.Snapshot()
+		if s.BreakerState == BreakerClosed && s.StoreEntries > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never recovered: state=%v entries=%d faults=%d",
+				s.BreakerState, s.StoreEntries, s.StoreFaults)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// The watchdog cancels a running job that stops making point progress,
+// failing it with a diagnosis instead of leaving it wedged forever.
+func TestWatchdogCancelsStalledJob(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 1, WatchdogStall: 400 * time.Millisecond})
+	req := slowRun()
+	req.Measure = 400_000_000 // one point, hours of simulation: no progress events
+	_, data := postJSON(t, ts.URL+"/v1/runs", req)
+	var job JobJSON
+	if err := json.Unmarshal(data, &job); err != nil {
+		t.Fatal(err)
+	}
+	failed := waitState(t, ts, job.ID, StateFailed, 30*time.Second)
+	if !strings.Contains(failed.Error, "watchdog") || !strings.Contains(failed.Error, "no point progress") {
+		t.Fatalf("failure %q is not a watchdog diagnosis", failed.Error)
+	}
+	if n := svc.Snapshot().WatchdogCancels; n != 1 {
+		t.Fatalf("watchdog cancels = %d, want 1", n)
+	}
+	// The executor is free again: normal work proceeds.
+	if ok := submitWait(t, ts, "/v1/runs", quickRun()); ok.State != StateDone {
+		t.Fatalf("post-watchdog run: %s (%s)", ok.State, ok.Error)
+	}
+}
+
+// A panic inside a job's simulation fails that job with a diagnosis; the
+// daemon and every other job keep serving. Covers both the single-replicate
+// path and the sweep worker pool.
+func TestPanicFailsJobNotDaemon(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 1})
+	boom := RunRequest{Topo: "panictest", N: 8, MsgLen: 4, Rate: 0.002,
+		Warmup: 100, Measure: 300, Drain: 3000, Seed: 1}
+	_, data := postJSON(t, ts.URL+"/v1/runs", boom)
+	var job JobJSON
+	if err := json.Unmarshal(data, &job); err != nil {
+		t.Fatal(err)
+	}
+	failed := waitState(t, ts, job.ID, StateFailed, 30*time.Second)
+	if !strings.Contains(failed.Error, "panicked") {
+		t.Fatalf("failure %q does not diagnose the panic", failed.Error)
+	}
+
+	boom.Seed, boom.Replicates = 2, 3 // sweep worker-pool path
+	_, data = postJSON(t, ts.URL+"/v1/runs", boom)
+	if err := json.Unmarshal(data, &job); err != nil {
+		t.Fatal(err)
+	}
+	failed = waitState(t, ts, job.ID, StateFailed, 30*time.Second)
+	if !strings.Contains(failed.Error, "panicked") {
+		t.Fatalf("replicated failure %q does not diagnose the panic", failed.Error)
+	}
+
+	// The daemon survived both panics.
+	if ok := submitWait(t, ts, "/v1/runs", quickRun()); ok.State != StateDone {
+		t.Fatalf("post-panic run: %s (%s)", ok.State, ok.Error)
+	}
+	if n := svc.Snapshot().JobsFailed; n != 2 {
+		t.Fatalf("jobs failed = %d, want 2", n)
+	}
+}
+
+// The seeded chaos end-to-end schedule: a daemon serves correctly while a
+// deterministic fault plan batters its durability layer, then a clean
+// restart over the same data directory serves every previous answer
+// byte-identically — whether from the entries that survived on disk or by
+// deterministic re-simulation of the ones that did not.
+func TestChaosRestartServesByteIdenticalResults(t *testing.T) {
+	dir := t.TempDir()
+	plan := faultinject.New(faultinject.Spec{Seed: 0xE2E, ErrRate: 0.25, TornRate: 0.25, MaxOps: 200})
+	svc1, ts1 := newTestServer(t, Config{Workers: 1, DataDir: dir, BreakerThreshold: 3, Chaos: plan})
+
+	req := quickRun()
+	results := make(map[uint64][]byte)
+	for seed := uint64(90); seed < 94; seed++ {
+		req.Seed = seed
+		job := submitWait(t, ts1, "/v1/runs", req)
+		if job.State != StateDone || job.Degraded || len(job.Result) == 0 {
+			t.Fatalf("seed %d under chaos: state=%s degraded=%v (%s)",
+				seed, job.State, job.Degraded, job.Error)
+		}
+		results[seed] = job.Result
+	}
+	if plan.Stats().Injected() == 0 {
+		t.Fatal("chaos plan injected nothing: the restart proves nothing")
+	}
+	if svc1.Snapshot().JobsFailed != 0 {
+		t.Fatal("store faults failed jobs; they must only cost durability")
+	}
+	ts1.Close()
+	svc1.Close()
+
+	// Clean restart: no injection, same directory.
+	_, ts2 := newTestServer(t, Config{Workers: 1, DataDir: dir})
+	for seed := uint64(90); seed < 94; seed++ {
+		req.Seed = seed
+		job := submitWait(t, ts2, "/v1/runs", req)
+		if job.State != StateDone {
+			t.Fatalf("seed %d after restart: %s (%s)", seed, job.State, job.Error)
+		}
+		if !bytes.Equal(job.Result, results[seed]) {
+			t.Fatalf("seed %d: post-restart payload differs\nold: %s\nnew: %s",
+				seed, results[seed], job.Result)
+		}
+	}
+}

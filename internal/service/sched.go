@@ -196,9 +196,7 @@ func runCost(cfg experiments.Config, replicates int) float64 {
 	}
 	cycles := float64(cfg.Warmup + cfg.Measure + cfg.Drain)
 	activity := 1.0
-	analyzable := cfg.Pattern == traffic.Uniform && cfg.HotspotBias == 0 &&
-		cfg.BurstMeanOn == 0 && cfg.McastFrac == 0
-	if analyzable {
+	if analyzableWorkload(cfg) {
 		if pred, ok := analytic.ForModel(cfg.ModelName(), cfg.N, cfg.MsgLen, cfg.Rate); ok && pred.SaturationRate > 0 {
 			u := cfg.Rate / pred.SaturationRate
 			switch {
@@ -211,6 +209,17 @@ func runCost(cfg experiments.Config, replicates int) float64 {
 		}
 	}
 	return float64(replicates) * cycles * float64(cfg.N) * activity
+}
+
+// analyzableWorkload reports whether a configuration sits inside the domain
+// the closed-form models in internal/analytic are validated for: uniform
+// Bernoulli traffic with no hotspot bias, bursty source or multicast. Both
+// the admission cost estimator and the degraded-answer path key off it — a
+// workload the analytic model has never been checked against must not be
+// served as an "estimate with a 10% band".
+func analyzableWorkload(cfg experiments.Config) bool {
+	return cfg.Pattern == traffic.Uniform && cfg.HotspotBias == 0 &&
+		cfg.BurstMeanOn == 0 && cfg.McastFrac == 0
 }
 
 // classifyRun assigns a run job its scheduling class from the analytic cost

@@ -10,6 +10,7 @@ import (
 	"log"
 	"net/http"
 	"path/filepath"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync"
@@ -17,6 +18,7 @@ import (
 
 	"quarc/internal/experiments"
 	"quarc/internal/explore"
+	"quarc/internal/faultinject"
 	dstore "quarc/internal/store"
 )
 
@@ -42,9 +44,31 @@ type Config struct {
 	// StoreBytes bounds the on-disk result store in payload bytes. 0 means
 	// 1 GiB.
 	StoreBytes int64
+	// Chaos, when non-nil, injects the plan's deterministic faults (I/O
+	// errors, torn writes, latency spikes) into every disk-store and journal
+	// filesystem operation — quarcd's -chaos flag. nil is a zero-cost
+	// pass-through.
+	Chaos *faultinject.Plan
+	// WatchdogStall, when positive, cancels running jobs that make no point
+	// progress for that long, failing them with a diagnosis. It must
+	// comfortably exceed the longest legitimate single point: one-replicate
+	// runs report no progress between start and finish.
+	WatchdogStall time.Duration
+	// BreakerThreshold is the consecutive disk-store failure count that
+	// opens the circuit breaker (quarcd then serves memory-cache-only until
+	// a backoff probe succeeds). 0 means 5.
+	BreakerThreshold int
 	// Log receives request and lifecycle lines; nil discards them.
 	Log *log.Logger
 }
+
+// Breaker backoff bounds: the first open waits about breakerBaseBackoff
+// before a half-open probe, doubling per consecutive open up to
+// breakerMaxBackoff, both jittered ±50%.
+const (
+	breakerBaseBackoff = 250 * time.Millisecond
+	breakerMaxBackoff  = 15 * time.Second
+)
 
 // Server is the simulation service: an http.Handler plus the scheduler,
 // store, cache, durability layer and metrics behind it.
@@ -59,9 +83,12 @@ type Server struct {
 
 	// disk and journal are the durability tier (nil without a DataDir): the
 	// cache reads through to disk on memory misses and writes through on
-	// fills, and every job event is mirrored to its journal.
+	// fills, and every job event is mirrored to its journal. breaker guards
+	// the result store: consecutive failures trip it and quarcd degrades to
+	// memory-cache-only until a half-open probe succeeds.
 	disk    *dstore.Store
 	journal *dstore.Journal
+	breaker *Breaker
 
 	// inflight coalesces identical uncached submissions: the first live job
 	// per canonical key is the primary (the one that simulates); later
@@ -97,6 +124,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.StoreBytes < 1 {
 		cfg.StoreBytes = 1 << 30
 	}
+	if cfg.BreakerThreshold < 1 {
+		cfg.BreakerThreshold = 5
+	}
 	lg := cfg.Log
 	if lg == nil {
 		lg = log.New(io.Discard, "", 0)
@@ -108,16 +138,22 @@ func New(cfg Config) (*Server, error) {
 		metrics:  NewMetrics(),
 		mux:      http.NewServeMux(),
 		inflight: make(map[string]*coalesceEntry),
+		breaker:  NewBreaker(cfg.BreakerThreshold, breakerBaseBackoff, breakerMaxBackoff),
 		baseCtx:  ctx, baseCancel: cancel,
 	}
 	if cfg.DataDir != "" {
+		fs := faultinject.FS(faultinject.OS{})
+		if cfg.Chaos != nil {
+			fs = cfg.Chaos.Wrap(fs)
+			lg.Printf("CHAOS ENABLED: injecting store faults (%s)", cfg.Chaos.Spec())
+		}
 		var err error
-		s.disk, err = dstore.Open(filepath.Join(cfg.DataDir, "results"), cfg.StoreBytes)
+		s.disk, err = dstore.OpenFS(filepath.Join(cfg.DataDir, "results"), cfg.StoreBytes, fs)
 		if err != nil {
 			cancel()
 			return nil, err
 		}
-		s.journal, err = dstore.OpenJournal(filepath.Join(cfg.DataDir, "journal"))
+		s.journal, err = dstore.OpenJournalFS(filepath.Join(cfg.DataDir, "journal"), fs)
 		if err != nil {
 			cancel()
 			return nil, err
@@ -132,6 +168,9 @@ func New(cfg Config) (*Server, error) {
 	})
 	s.sched = NewScheduler(cfg.Workers, cfg.QueueCap, s.execute)
 	s.recoverJobs()
+	if cfg.WatchdogStall > 0 {
+		go s.watchdog(cfg.WatchdogStall)
+	}
 	s.mux.HandleFunc("/v1/runs", s.handleRuns)
 	s.mux.HandleFunc("/v1/panels", s.handlePanels)
 	s.mux.HandleFunc("/v1/explore", s.handleExplore)
@@ -165,28 +204,50 @@ func (s *Server) cacheProbe(key string) ([]byte, bool) {
 	return s.diskGet(key)
 }
 
+// diskGet reads through the circuit breaker: while the breaker is open the
+// disk is not consulted at all (quarcd serves memory-cache-only), and an I/O
+// failure on a resident entry — as opposed to a plain miss — counts toward
+// opening it. Store failures never surface to clients as errors, only as
+// misses.
 func (s *Server) diskGet(key string) ([]byte, bool) {
-	if s.disk == nil {
+	if s.disk == nil || !s.breaker.Allow() {
 		return nil, false
 	}
-	b, ok := s.disk.Get(key)
-	if !ok {
+	b, err := s.disk.GetE(key)
+	switch {
+	case err == nil:
+		s.breaker.Success()
+		s.metrics.storeHits.Add(1)
+		s.cache.Put(key, b)
+		return b, true
+	case errors.Is(err, dstore.ErrNotFound):
+		// Absence is not a fault — but an index miss performs no I/O either,
+		// so it is no evidence of health: leave the failure count alone.
+		s.breaker.Neutral()
+		return nil, false
+	default:
+		s.breaker.Failure()
+		s.metrics.storeFaults.Add(1)
+		s.log.Printf("store: %v (breaker %s)", err, s.breaker.State())
 		return nil, false
 	}
-	s.metrics.storeHits.Add(1)
-	s.cache.Put(key, b)
-	return b, true
 }
 
 // cachePut writes a finished result through both tiers. A disk write
-// failure costs durability, not the response.
+// failure costs durability, not the response; while the breaker is open the
+// disk tier is skipped entirely.
 func (s *Server) cachePut(key string, val []byte) {
 	s.cache.Put(key, val)
-	if s.disk != nil {
-		if err := s.disk.Put(key, val); err != nil {
-			s.log.Printf("store: %v", err)
-		}
+	if s.disk == nil || !s.breaker.Allow() {
+		return
 	}
+	if err := s.disk.Put(key, val); err != nil {
+		s.breaker.Failure()
+		s.metrics.storeFaults.Add(1)
+		s.log.Printf("store: %v (breaker %s)", err, s.breaker.State())
+		return
+	}
+	s.breaker.Success()
 }
 
 // Snapshot returns the current operational counters.
@@ -216,6 +277,12 @@ func (s *Server) Snapshot() MetricsSnapshot {
 		QueueInteractive:      s.sched.DepthClass(ClassInteractive),
 		QueueBatch:            s.sched.DepthClass(ClassBatch),
 		JobsRunning:           s.sched.Running(),
+		DegradedAnswers:       s.metrics.degradedAnswers.Load(),
+		WatchdogCancels:       s.metrics.watchdogCancels.Load(),
+		PanicsRecovered:       s.metrics.panicsRecovered.Load(),
+		StoreFaults:           s.metrics.storeFaults.Load(),
+		BreakerState:          s.breaker.State(),
+		BreakerOpens:          s.breaker.Opens(),
 	}
 	if s.disk != nil {
 		_, _, ev := s.disk.Stats()
@@ -244,6 +311,9 @@ func (s *Server) Drain(ctx context.Context) error {
 		<-done
 		err = ctx.Err()
 	}
+	// The executors are gone either way; release the base context so the
+	// watchdog (and any other lifetime-scoped goroutine) exits too.
+	s.baseCancel()
 	if s.journal != nil {
 		s.journal.CloseAll()
 	}
@@ -286,6 +356,18 @@ func (s *Server) execute(j *Job) {
 		}
 		return
 	}
+	deadline, hasDeadline := j.deadlineTime()
+	if hasDeadline {
+		// The budget ran down while the job sat in the queue: answer now
+		// without simulating a single cycle.
+		if !time.Now().Before(deadline) {
+			s.degradeOrFail(j, "deadline expired while queued")
+			return
+		}
+		var cancelDl context.CancelFunc
+		ctx, cancelDl = context.WithDeadline(ctx, deadline)
+		defer cancelDl()
+	}
 	if !j.setState(StateRunning, "") {
 		return // a cancellation won the race; ctx is (or will be) cancelled
 	}
@@ -299,41 +381,53 @@ func (s *Server) execute(j *Job) {
 
 	var payload any
 	var err error
-	switch {
-	case j.work.run != nil:
-		w := j.work.run
-		j.setTotal(w.replicates)
-		var agg experiments.Result
-		var reps []experiments.Result
-		agg, reps, err = experiments.RunReplicatedContext(ctx, w.cfg, w.replicates, w.workers, onPoint)
-		if err == nil {
-			payload = EncodeRun(agg, reps)
+	// Panic isolation: a crash anywhere in the simulation stack fails this
+	// job with a diagnosis instead of tearing down the daemon and every
+	// other job with it.
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				s.metrics.panicsRecovered.Add(1)
+				s.log.Printf("job %s panicked: %v\n%s", j.ID, r, debug.Stack())
+				err = fmt.Errorf("job panicked: %v", r)
+			}
+		}()
+		switch {
+		case j.work.run != nil:
+			w := j.work.run
+			j.setTotal(w.replicates)
+			var agg experiments.Result
+			var reps []experiments.Result
+			agg, reps, err = experiments.RunReplicatedContext(ctx, w.cfg, w.replicates, w.workers, onPoint)
+			if err == nil {
+				payload = EncodeRun(agg, reps)
+			}
+		case j.work.panel != nil:
+			w := j.work.panel
+			opts := w.opts
+			j.setTotal(experiments.PanelPointCount(w.spec, opts))
+			opts.OnPointDone = onPoint
+			var pr experiments.PanelResult
+			pr, err = experiments.RunPanelContext(ctx, w.spec, opts)
+			if err == nil {
+				payload = EncodePanel(pr)
+			}
+		case j.work.explore != nil:
+			w := j.work.explore
+			j.setTotal(w.points)
+			s.metrics.explorePointsExpanded.Add(uint64(w.points))
+			s.metrics.explorePointsDeduped.Add(uint64(w.deduped))
+			var oc explore.Outcome
+			oc, err = explore.Run(ctx, w.spec, w.opts, w.opts.Workers, s.exploreEvaluator(w), func(i int, p explore.Point, res experiments.Result, cached bool) {
+				j.pointDone(experiments.PointDone{Index: i, Total: w.points, Model: p.Model, Rate: p.Rate, Result: res}, cached)
+			})
+			if err == nil {
+				payload = EncodeExplore(w.spec, w.opts, oc)
+			}
+		default:
+			err = fmt.Errorf("job has no work")
 		}
-	case j.work.panel != nil:
-		w := j.work.panel
-		opts := w.opts
-		j.setTotal(experiments.PanelPointCount(w.spec, opts))
-		opts.OnPointDone = onPoint
-		var pr experiments.PanelResult
-		pr, err = experiments.RunPanelContext(ctx, w.spec, opts)
-		if err == nil {
-			payload = EncodePanel(pr)
-		}
-	case j.work.explore != nil:
-		w := j.work.explore
-		j.setTotal(w.points)
-		s.metrics.explorePointsExpanded.Add(uint64(w.points))
-		s.metrics.explorePointsDeduped.Add(uint64(w.deduped))
-		var oc explore.Outcome
-		oc, err = explore.Run(ctx, w.spec, w.opts, w.opts.Workers, s.exploreEvaluator(w), func(i int, p explore.Point, res experiments.Result, cached bool) {
-			j.pointDone(experiments.PointDone{Index: i, Total: w.points, Model: p.Model, Rate: p.Rate, Result: res}, cached)
-		})
-		if err == nil {
-			payload = EncodeExplore(w.spec, w.opts, oc)
-		}
-	default:
-		err = fmt.Errorf("job has no work")
-	}
+	}()
 
 	switch {
 	case err == nil:
@@ -345,13 +439,41 @@ func (s *Server) execute(j *Job) {
 		s.cachePut(j.Key, b)
 		j.finish(b, false)
 		s.log.Printf("job %s done", j.ID)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.degradeOrFail(j, "deadline exceeded")
 	case errors.Is(err, context.Canceled):
-		j.setState(StateCancelled, "")
-		s.log.Printf("job %s cancelled", j.ID)
+		if msg := j.killReason(); msg != "" {
+			j.setState(StateFailed, msg)
+			s.log.Printf("job %s failed: %s", j.ID, msg)
+		} else {
+			j.setState(StateCancelled, "")
+			s.log.Printf("job %s cancelled", j.ID)
+		}
 	default:
 		j.setState(StateFailed, err.Error())
 		s.log.Printf("job %s failed: %v", j.ID, err)
 	}
+}
+
+// degradeOrFail settles a job whose exact answer can no longer be produced
+// in time. Analyzable run jobs get an instant closed-form analytic estimate
+// marked `degraded: true` — a useful answer in microseconds instead of an
+// error — which is deliberately never cached; panels, explores and workloads
+// outside the analytic models' validated domain fail with reason.
+func (s *Server) degradeOrFail(j *Job, reason string) {
+	if j.work.run != nil {
+		if out, ok := EncodeDegradedRun(j.work.run.cfg, reason); ok {
+			if b, err := json.Marshal(out); err == nil {
+				if j.finishDegraded(b) {
+					s.metrics.degradedAnswers.Add(1)
+					s.log.Printf("job %s answered degraded: %s", j.ID, reason)
+				}
+				return
+			}
+		}
+	}
+	j.setState(StateFailed, reason)
+	s.log.Printf("job %s failed: %s", j.ID, reason)
 }
 
 // exploreEvaluator builds the cache-through evaluator an explore job fans
@@ -424,6 +546,12 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind, key string
 	s.inflight[key] = &coalesceEntry{primary: j}
 	s.coMu.Unlock()
 	if err := s.sched.Enqueue(j); err != nil {
+		// Shed with an answer where we can: an analyzable run turned away by
+		// a full queue gets an instant degraded analytic estimate — 200 with
+		// an honest error band beats a 503 for a client on a deadline.
+		if errors.Is(err, ErrQueueFull) && s.shedDegrade(w, j) {
+			return
+		}
 		s.failCoalesceChain(j, err)
 		if errors.Is(err, ErrQueueFull) {
 			// Backpressure is transient: tell well-behaved clients when to
@@ -434,6 +562,42 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind, key string
 		return
 	}
 	s.respondSubmitted(w, r, j)
+}
+
+// shedDegrade answers a load-shed run job (and any followers that coalesced
+// onto it in the enqueue window) with a degraded analytic estimate,
+// reporting whether it could. Only analyzable runs qualify; everything else
+// falls through to the 503 path.
+func (s *Server) shedDegrade(w http.ResponseWriter, j *Job) bool {
+	if j.work.run == nil {
+		return false
+	}
+	out, ok := EncodeDegradedRun(j.work.run.cfg, "shed: queue full")
+	if !ok {
+		return false
+	}
+	b, err := json.Marshal(out)
+	if err != nil {
+		return false
+	}
+	s.coMu.Lock()
+	var followers []*Job
+	if e, ok := s.inflight[j.Key]; ok && e.primary == j {
+		followers = e.followers
+		delete(s.inflight, j.Key)
+	}
+	s.coMu.Unlock()
+	if j.finishDegraded(b) {
+		s.metrics.degradedAnswers.Add(1)
+		s.log.Printf("job %s shed with a degraded answer (queue full)", j.ID)
+	}
+	for _, f := range followers {
+		if f.finishDegraded(b) {
+			s.metrics.degradedAnswers.Add(1)
+		}
+	}
+	writeJSON(w, http.StatusOK, j.Snapshot(true))
+	return true
 }
 
 // respondSubmitted answers a successfully registered submission, honouring
@@ -473,13 +637,19 @@ func (s *Server) settleCoalesced(j *Job) {
 	}
 	// Settle from the primary's own payload, not a cache probe: the bounded
 	// LRU may already have evicted the entry under churn, and a done primary
-	// must never trigger a duplicate simulation.
-	if payload, ok := j.resultPayload(); ok {
+	// must never trigger a duplicate simulation. A degraded primary settles
+	// its followers degraded too — the payload says so, the flag must agree.
+	if payload, degraded, ok := j.resultPayload(); ok {
 		delete(s.inflight, j.Key)
 		followers := e.followers
 		s.coMu.Unlock()
 		for _, f := range followers {
-			if f.finish(payload, true) {
+			switch {
+			case degraded:
+				if f.finishDegraded(payload) {
+					s.metrics.degradedAnswers.Add(1)
+				}
+			case f.finish(payload, true):
 				s.metrics.cachedResponse.Add(1)
 			}
 		}

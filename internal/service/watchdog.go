@@ -1,0 +1,42 @@
+package service
+
+import (
+	"fmt"
+	"time"
+)
+
+// watchdog cancels running jobs that have made no point progress for stall,
+// attaching a diagnosis so the job fails loudly instead of wedging an
+// executor forever (a stuck disk, a livelocked configuration, a bug). It
+// runs until the server's base context is cancelled. Progress is the
+// per-point callback heartbeat: single-replicate runs only beat at start and
+// finish, so stall must comfortably exceed the longest legitimate point
+// (quarcd defaults it to 10 minutes).
+func (s *Server) watchdog(stall time.Duration) {
+	tick := stall / 4
+	if tick < time.Second {
+		tick = time.Second
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-t.C:
+		}
+		now := time.Now()
+		for _, j := range s.store.List() {
+			last, done, total, running := j.progressAt()
+			if !running || now.Sub(last) < stall {
+				continue
+			}
+			msg := fmt.Sprintf("watchdog: no point progress for %s (done %d/%d)",
+				now.Sub(last).Round(time.Second), done, total)
+			if j.kill(msg) {
+				s.metrics.watchdogCancels.Add(1)
+				s.log.Printf("job %s %s", j.ID, msg)
+			}
+		}
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"quarc/internal/faultinject"
 )
 
 // idPattern is the accepted journal id shape (the service's job ids).
@@ -20,19 +22,27 @@ const journalSuffix = ".ndjson"
 // Journal persists one append-only NDJSON file per job. Appends go straight
 // to the kernel (no userspace buffering), so everything appended before a
 // SIGKILL is on record; Replay tolerates a torn final line by returning the
-// longest valid prefix. All methods are safe for concurrent use.
+// longest valid prefix. All methods are safe for concurrent use. I/O goes
+// through a faultinject.FS like the result store's, so chaos plans cover the
+// journal too.
 type Journal struct {
 	dir  string
+	fs   faultinject.FS
 	mu   sync.Mutex
-	open map[string]*os.File
+	open map[string]faultinject.File
 }
 
-// OpenJournal prepares the journal directory.
+// OpenJournal is OpenJournalFS over the plain os filesystem.
 func OpenJournal(dir string) (*Journal, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenJournalFS(dir, faultinject.OS{})
+}
+
+// OpenJournalFS prepares the journal directory, performing all I/O through fs.
+func OpenJournalFS(dir string, fs faultinject.FS) (*Journal, error) {
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("journal: create %s: %w", dir, err)
 	}
-	return &Journal{dir: dir, open: make(map[string]*os.File)}, nil
+	return &Journal{dir: dir, fs: fs, open: make(map[string]faultinject.File)}, nil
 }
 
 func (j *Journal) path(id string) string { return filepath.Join(j.dir, id+journalSuffix) }
@@ -52,7 +62,7 @@ func (j *Journal) Append(id string, line []byte) error {
 	f, ok := j.open[id]
 	if !ok {
 		var err error
-		f, err = os.OpenFile(j.path(id), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		f, err = j.fs.OpenFile(j.path(id), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
 		if err != nil {
 			return fmt.Errorf("journal: open %q: %w", id, err)
 		}
@@ -96,13 +106,13 @@ func (j *Journal) Remove(id string) {
 		f.Close()
 		delete(j.open, id)
 	}
-	os.Remove(j.path(id))
+	j.fs.Remove(j.path(id))
 }
 
 // List returns the ids with a journal on disk, sorted (the service's
 // zero-padded job ids sort in creation order).
 func (j *Journal) List() ([]string, error) {
-	des, err := os.ReadDir(j.dir)
+	des, err := j.fs.ReadDir(j.dir)
 	if err != nil {
 		return nil, fmt.Errorf("journal: scan %s: %w", j.dir, err)
 	}
@@ -129,7 +139,7 @@ func (j *Journal) Replay(id string) ([][]byte, error) {
 	if !idPattern.MatchString(id) {
 		return nil, fmt.Errorf("journal: invalid id %q", id)
 	}
-	data, err := os.ReadFile(j.path(id))
+	data, err := j.fs.ReadFile(j.path(id))
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, nil

@@ -2,16 +2,24 @@
 // disk-backed result store bounded in bytes with LRU-by-access-time
 // eviction, and an append-only NDJSON event journal per job. Both are
 // crash-safe by construction — results become visible only through an
-// atomic write-then-rename, and journal replay stops at the first
-// incomplete or corrupt line — so a daemon killed at any instant reboots
-// into a consistent state: every durable result is byte-identical to the
-// original computation, and every journal replays the longest valid prefix
-// of the events that were streamed before the crash.
+// atomic write-then-rename (with the parent directory fsynced after the
+// rename, so the commit survives power loss, not just process death), and
+// journal replay stops at the first incomplete or corrupt line — so a
+// daemon killed at any instant reboots into a consistent state: every
+// durable result is byte-identical to the original computation, and every
+// journal replays the longest valid prefix of the events that were streamed
+// before the crash.
+//
+// All filesystem access goes through a faultinject.FS, so chaos tests and
+// quarcd's -chaos flag can inject deterministic I/O errors, torn writes and
+// latency spikes at exactly this boundary; production passes the zero-cost
+// faultinject.OS pass-through.
 package store
 
 import (
 	"container/list"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -19,6 +27,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"quarc/internal/faultinject"
 )
 
 // keyPattern is the only accepted result key shape: the lower-case hex
@@ -31,6 +41,12 @@ const (
 	tmpSuffix    = ".json.tmp"
 )
 
+// ErrNotFound reports a key with no resident entry — a miss, as opposed to
+// an I/O failure reading an entry that exists. Callers running a circuit
+// breaker over the store must treat only non-ErrNotFound errors as disk
+// failures.
+var ErrNotFound = errors.New("store: entry not found")
+
 // Store is the disk-backed result store. All methods are safe for
 // concurrent use. Entries are plain files named <key>.json under a single
 // directory; recency is tracked in memory and mirrored to the files'
@@ -38,6 +54,7 @@ const (
 type Store struct {
 	dir      string
 	maxBytes int64
+	fs       faultinject.FS
 
 	mu        sync.Mutex
 	ll        *list.List // front = most recently used
@@ -53,25 +70,32 @@ type entry struct {
 	size int64
 }
 
-// Open scans dir (creating it if needed) and builds the store over whatever
-// valid entries it holds. The scan is corruption tolerant: half-written
-// *.json.tmp leftovers of a crashed Put are deleted, files that do not look
-// like result entries are ignored, and anything over the byte budget is
-// evicted oldest-access-first before Open returns.
+// Open is OpenFS over the plain os filesystem.
 func Open(dir string, maxBytes int64) (*Store, error) {
+	return OpenFS(dir, maxBytes, faultinject.OS{})
+}
+
+// OpenFS scans dir (creating it if needed) and builds the store over whatever
+// valid entries it holds, performing all I/O through fs. The scan is
+// corruption tolerant: half-written *.json.tmp leftovers of a crashed Put are
+// deleted, files that do not look like result entries are ignored, and
+// anything over the byte budget is evicted oldest-access-first before OpenFS
+// returns.
+func OpenFS(dir string, maxBytes int64, fs faultinject.FS) (*Store, error) {
 	if maxBytes < 1 {
 		maxBytes = 1
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: create %s: %w", dir, err)
 	}
 	s := &Store{
 		dir:      dir,
 		maxBytes: maxBytes,
+		fs:       fs,
 		ll:       list.New(),
 		items:    make(map[string]*list.Element),
 	}
-	des, err := os.ReadDir(dir)
+	des, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("store: scan %s: %w", dir, err)
 	}
@@ -89,7 +113,7 @@ func Open(dir string, maxBytes int64) (*Store, error) {
 		if filepath.Ext(name) == ".tmp" {
 			// A Put that crashed before its rename: the entry never became
 			// visible, so the remnant is garbage by definition.
-			os.Remove(filepath.Join(dir, name))
+			fs.Remove(filepath.Join(dir, name))
 			continue
 		}
 		key, ok := keyOf(name)
@@ -131,38 +155,60 @@ func keyOf(name string) (string, bool) {
 func (s *Store) path(key string) string { return filepath.Join(s.dir, key+resultSuffix) }
 
 // Get returns the payload stored under key, marking it most recently used.
-// A file that has gone missing or no longer holds valid JSON (external
-// corruption) is dropped from the index and reported as a miss rather than
-// served.
+// It is GetE without the miss/failure distinction.
 func (s *Store) Get(key string) ([]byte, bool) {
+	b, err := s.GetE(key)
+	return b, err == nil
+}
+
+// GetE returns the payload stored under key, marking it most recently used.
+// A missing key (or a file externally deleted or corrupted, which is dropped
+// from the index rather than served) returns ErrNotFound; any other error is
+// a disk I/O failure on an entry that still exists — the entry stays
+// resident, so a transiently failing disk does not silently empty the store.
+func (s *Store) GetE(key string) ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	el, ok := s.items[key]
 	if !ok {
 		s.misses++
-		return nil, false
+		return nil, ErrNotFound
 	}
-	b, err := os.ReadFile(s.path(key))
-	if err != nil || !json.Valid(b) {
+	b, err := s.fs.ReadFile(s.path(key))
+	switch {
+	case err != nil && os.IsNotExist(err):
+		// The file vanished underneath the index (external deletion): drop
+		// the entry and report a plain miss.
 		s.dropLocked(el)
-		os.Remove(s.path(key))
 		s.misses++
-		return nil, false
+		return nil, ErrNotFound
+	case err != nil:
+		s.misses++
+		return nil, fmt.Errorf("store: read %s: %w", key, err)
+	case !json.Valid(b):
+		// External corruption: never serve it, and GC the file.
+		s.dropLocked(el)
+		s.fs.Remove(s.path(key))
+		s.misses++
+		return nil, ErrNotFound
 	}
 	s.hits++
 	s.ll.MoveToFront(el)
 	// Mirror recency to the file's mtime so the LRU order survives a
 	// restart; purely best effort.
 	now := time.Now()
-	os.Chtimes(s.path(key), now, now)
-	return b, true
+	s.fs.Chtimes(s.path(key), now, now)
+	return b, nil
 }
 
 // Put stores val under key with write-then-rename atomicity: a crash at any
 // point leaves either the previous entry or the new one, never a torn file
-// behind the key. Entries are evicted oldest-access-first until the store
-// fits its byte budget again (the entry just written is never evicted, even
-// if it alone exceeds the budget).
+// behind the key. After the rename the parent directory is fsynced, so the
+// committed entry survives power loss, not just process death; a failure
+// there is returned (durability is compromised) but the entry is already
+// visible and stays indexed. Entries are evicted oldest-access-first until
+// the store fits its byte budget again (the entry just written is never
+// evicted, even if it alone exceeds the budget).
 func (s *Store) Put(key string, val []byte) error {
 	if !keyPattern.MatchString(key) {
 		return fmt.Errorf("store: invalid key %q", key)
@@ -170,27 +216,34 @@ func (s *Store) Put(key string, val []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	tmp := filepath.Join(s.dir, key+tmpSuffix)
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := s.fs.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: write %s: %w", key, err)
 	}
 	if _, err := f.Write(val); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		s.fs.Remove(tmp)
 		return fmt.Errorf("store: write %s: %w", key, err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		s.fs.Remove(tmp)
 		return fmt.Errorf("store: sync %s: %w", key, err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		s.fs.Remove(tmp)
 		return fmt.Errorf("store: close %s: %w", key, err)
 	}
-	if err := os.Rename(tmp, s.path(key)); err != nil {
-		os.Remove(tmp)
+	if err := s.fs.Rename(tmp, s.path(key)); err != nil {
+		s.fs.Remove(tmp)
 		return fmt.Errorf("store: commit %s: %w", key, err)
+	}
+	// The rename made the entry visible; fsyncing the directory makes it
+	// durable. Account for the entry either way — it exists and will be
+	// served — and surface the sync failure to the caller.
+	var syncErr error
+	if err := s.fs.SyncDir(s.dir); err != nil {
+		syncErr = fmt.Errorf("store: sync dir after %s: %w", key, err)
 	}
 	size := int64(len(val))
 	if el, ok := s.items[key]; ok {
@@ -202,7 +255,7 @@ func (s *Store) Put(key string, val []byte) error {
 		s.bytes += size
 	}
 	s.evictOverBudgetLocked()
-	return nil
+	return syncErr
 }
 
 // dropLocked removes an entry from the in-memory index only.
@@ -220,7 +273,7 @@ func (s *Store) evictOverBudgetLocked() {
 		oldest := s.ll.Back()
 		key := oldest.Value.(*entry).key
 		s.dropLocked(oldest)
-		os.Remove(s.path(key))
+		s.fs.Remove(s.path(key))
 		s.evictions++
 	}
 }
