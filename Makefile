@@ -6,7 +6,7 @@ LOAD_ADDR ?= 127.0.0.1:8091
 LOAD_N ?= 200
 LOAD_C ?= 8
 
-.PHONY: all build test race fuzz-short bench bench-json profile fmt vet check serve loadtest
+.PHONY: all build test race fuzz-short bench bench-json profile fmt vet lint check serve loadtest
 
 all: check
 
@@ -70,4 +70,19 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-check: fmt vet build test
+# Static analysis. quarcvet (internal/lint) always runs — it is part of the
+# module and enforces the repo-specific invariants (determinism, cache-key
+# purity, hot-path allocation discipline, coordinator sections, metric
+# registration). staticcheck and govulncheck run when installed: CI installs
+# and caches them; a machine without them still gets the full quarcvet suite,
+# but if they are present their findings fail the target.
+lint:
+	$(GO) run ./cmd/quarcvet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else echo "staticcheck not installed; skipping (CI runs it)"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else echo "govulncheck not installed; skipping (CI runs it)"; fi
+
+check: fmt vet lint build test

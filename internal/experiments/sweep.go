@@ -7,6 +7,8 @@
 // in a slot indexed by point position, and replicate aggregation folds them
 // in a fixed order. RunPanelSerial preserves the plain sequential path so
 // tests can assert the equivalence.
+//
+//quarc:poolfile bounded sweep worker pool; order-independence proven by TestSweepMatchesSerial
 package experiments
 
 import (

@@ -1,3 +1,4 @@
+//quarc:poolfile bounded explore worker pool; deterministic slot-indexed results regardless of schedule
 package explore
 
 import (

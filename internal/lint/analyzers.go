@@ -1,0 +1,12 @@
+package lint
+
+// All returns the quarcvet suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Determinism,
+		CacheKeyPurity,
+		HotPath,
+		CoordSection,
+		MetricsOnce,
+	}
+}

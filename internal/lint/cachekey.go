@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strings"
+)
+
+// CacheKeyPurity cross-checks every wire request struct annotated
+// `//quarc:wirekey <KeyFunc>` against the canonical-key struct its key
+// function hashes:
+//
+//   - every exported wire field must appear (by its own name, or by its
+//     `//quarc:keyfield <Name>` alias — useful when the key renames a
+//     field, e.g. a Depth knob folded into a normalised Depths axis)
+//     somewhere in the flattened key struct, OR be marked
+//     `//quarc:execonly`;
+//   - every `//quarc:execonly` field must NOT appear in the key.
+//
+// This is the static form of the golden-key tests: adding a request knob
+// without deciding its cache-key fate, or leaking an execution-only knob
+// like step_workers into the key (the PR 8 near-miss), fails the build
+// instead of waiting for a runtime cache collision. Key-struct fields
+// tagged `json:"-"` are excluded from the hash by encoding/json, so the
+// analyzer excludes them too — removing such a tag is exactly how a leak
+// happens, and is exactly what gets caught.
+var CacheKeyPurity = &Analyzer{
+	Name: "cachekeypurity",
+	Doc:  "every wire request field is either hashed into the canonical cache key or explicitly execution-only",
+	Run:  runCacheKeyPurity,
+}
+
+func runCacheKeyPurity(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				keyFn, ok := directiveArg("wirekey", ts.Doc, gd.Doc)
+				if !ok {
+					continue
+				}
+				checkWireStruct(p, ts, keyFn)
+			}
+		}
+	}
+}
+
+func checkWireStruct(p *Pass, ts *ast.TypeSpec, keyFn string) {
+	st, ok := ts.Type.(*ast.StructType)
+	if !ok {
+		p.Reportf(ts.Pos(), "//quarc:wirekey on non-struct type %s", ts.Name.Name)
+		return
+	}
+	keyNames, ok := keyStructNames(p, keyFn)
+	if !ok {
+		p.Reportf(ts.Pos(), "//quarc:wirekey %s: no hashKey(struct{...}{...}) call found in a function of that name", keyFn)
+		return
+	}
+	checkWireFields(p, st, keyFn, keyNames)
+}
+
+// checkWireFields walks the wire struct's exported fields, recursing into
+// nested wire structs declared in the same package (e.g. PanelRequest.Opts
+// -> SweepOpts), and reports fields with an undeclared cache-key fate.
+func checkWireFields(p *Pass, st *ast.StructType, keyFn string, keyNames map[string]bool) {
+	for _, field := range st.Fields.List {
+		execOnly := hasDirective("execonly", field.Doc, field.Comment)
+		alias, hasAlias := directiveArg("keyfield", field.Doc, field.Comment)
+		for _, name := range field.Names {
+			if !name.IsExported() {
+				continue
+			}
+			inKey := keyNames[name.Name] || (hasAlias && keyNames[alias])
+			switch {
+			case execOnly && inKey:
+				p.Reportf(name.Pos(), "execution-only field %s leaks into the canonical key hashed by %s: it would split the cache by a knob that cannot change the result", name.Name, keyFn)
+			case !execOnly && !inKey:
+				if nested := localStructDecl(p, field.Type); nested != nil {
+					checkWireFields(p, nested, keyFn, keyNames)
+					continue
+				}
+				p.Reportf(name.Pos(), "wire field %s is absent from the canonical key hashed by %s: hash it, or mark it `//quarc:execonly` if it can never change the result", name.Name, keyFn)
+			}
+		}
+	}
+}
+
+// localStructDecl resolves a field type to a struct type declared in the
+// package under analysis, so nested wire structs can be flattened with
+// their own //quarc: field directives intact.
+func localStructDecl(p *Pass, expr ast.Expr) *ast.StructType {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj, ok := p.Info.Uses[id].(*types.TypeName)
+	if !ok || obj.Pkg() != p.Pkg {
+		return nil
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				if ts, ok := spec.(*ast.TypeSpec); ok && ts.Name.Name == id.Name {
+					if st, ok := ts.Type.(*ast.StructType); ok {
+						return st
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// keyStructNames finds `func <keyFn>` in the package, locates the struct
+// literal it passes to hashKey, and returns the flattened set of hashed
+// field names: `json:"-"` fields are dropped (encoding/json drops them from
+// the hash), `json:"name"` renames apply, and struct-typed fields from this
+// module are flattened recursively (e.g. experiments.Config inside RunKey).
+func keyStructNames(p *Pass, keyFn string) (map[string]bool, bool) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != keyFn || fd.Recv != nil {
+				continue
+			}
+			var lit *ast.CompositeLit
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || lit != nil {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "hashKey" && len(call.Args) > 0 {
+					if cl, ok := call.Args[0].(*ast.CompositeLit); ok {
+						lit = cl
+					}
+				}
+				return true
+			})
+			if lit == nil {
+				return nil, false
+			}
+			t := p.Info.TypeOf(lit)
+			if t == nil {
+				return nil, false
+			}
+			st, ok := t.Underlying().(*types.Struct)
+			if !ok {
+				return nil, false
+			}
+			names := map[string]bool{}
+			flattenKeyStruct(p, st, names)
+			return names, true
+		}
+	}
+	return nil, false
+}
+
+func flattenKeyStruct(p *Pass, st *types.Struct, names map[string]bool) {
+	for i := 0; i < st.NumFields(); i++ {
+		field := st.Field(i)
+		if !field.Exported() {
+			// encoding/json never hashes unexported fields.
+			continue
+		}
+		jsonName, _, _ := strings.Cut(reflect.StructTag(st.Tag(i)).Get("json"), ",")
+		if jsonName == "-" {
+			continue
+		}
+		name := field.Name()
+		if jsonName != "" {
+			names[jsonName] = true
+		}
+		names[name] = true
+		if nested, ok := moduleStruct(p, field.Type()); ok {
+			flattenKeyStruct(p, nested, names)
+		}
+	}
+}
+
+// moduleStruct reports whether t is a struct type declared inside this
+// module (or the package under analysis), i.e. one whose fields are part of
+// the canonical encoding rather than an opaque stdlib value.
+func moduleStruct(p *Pass, t types.Type) (*types.Struct, bool) {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, false
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return nil, false
+	}
+	if pkg != p.Pkg && pkg.Path() != "quarc" && !strings.HasPrefix(pkg.Path(), "quarc/") {
+		return nil, false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	return st, ok
+}

@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// CoordSection turns the parallel stepper's race discipline into a checked
+// rule. Inside parallel.go — the intra-cycle worker pool — all mutation of
+// fabric-shared state must happen single-threaded: either inside a worker-0
+// coordinator section (`if w == 0 { ... }` on the worker-id parameter) or
+// in a function annotated `//quarc:coordinator` (which must itself only be
+// called from coordinator context within parallel.go).
+//
+// Checked constructs, in any parallel.go function not annotated
+// coordinator:
+//
+//   - assignments / ++ / -- through a pointer field chain (`p.halt = true`,
+//     `f.cycle++`): shared by every worker, so they need the guard. Writes
+//     through an index expression (`f.moves[node] = ...`) are exempt — the
+//     pool shards node-indexed state so each worker owns its range;
+//   - calls to //quarc:coordinator functions (applyMoves, applyWoken,
+//     applySleep, latch, ...), wherever in the package they are declared.
+var CoordSection = &Analyzer{
+	Name: "coordsection",
+	Doc:  "in parallel.go, fabric-shared state is only written inside worker-0 coordinator sections or //quarc:coordinator functions",
+	Run:  runCoordSection,
+}
+
+func runCoordSection(p *Pass) {
+	coordinators := map[types.Object]bool{}
+	hasParallel := false
+	for _, f := range p.Files {
+		if filepath.Base(p.Fset.Position(f.Pos()).Filename) == "parallel.go" {
+			hasParallel = true
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && hasDirective("coordinator", fd.Doc) {
+				if obj := p.Info.Defs[fd.Name]; obj != nil {
+					coordinators[obj] = true
+				}
+			}
+		}
+	}
+	if !hasParallel {
+		return
+	}
+	for _, f := range p.Files {
+		if filepath.Base(p.Fset.Position(f.Pos()).Filename) != "parallel.go" {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || hasDirective("coordinator", fd.Doc) {
+				continue
+			}
+			checkWorkerFunc(p, fd, coordinators)
+		}
+	}
+}
+
+func checkWorkerFunc(p *Pass, fd *ast.FuncDecl, coordinators map[types.Object]bool) {
+	params := map[types.Object]bool{}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				if obj := p.Info.Defs[name]; obj != nil {
+					params[obj] = true
+				}
+			}
+		}
+	}
+	var walk func(n ast.Node, guarded bool)
+	inspect := func(n ast.Node, guarded bool) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if n.Init != nil {
+				walk(n.Init, guarded)
+			}
+			walk(n.Cond, guarded)
+			walk(n.Body, guarded || isWorkerZeroCond(p, n.Cond, params))
+			if n.Else != nil {
+				walk(n.Else, guarded)
+			}
+			return false
+		case *ast.AssignStmt:
+			if !guarded {
+				for _, lhs := range n.Lhs {
+					reportSharedWrite(p, lhs)
+				}
+			}
+		case *ast.IncDecStmt:
+			if !guarded {
+				reportSharedWrite(p, n.X)
+			}
+		case *ast.CallExpr:
+			if guarded {
+				break
+			}
+			var callee types.Object
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				callee = p.Info.Uses[fun]
+			case *ast.SelectorExpr:
+				callee = p.Info.Uses[fun.Sel]
+			}
+			if coordinators[callee] {
+				p.Reportf(n.Pos(), "call to coordinator function %s outside a worker-0 section: it mutates fabric-shared state and must run single-threaded", types.ExprString(n.Fun))
+			}
+		case *ast.FuncLit:
+			// A nested goroutine body gets no credit from an enclosing
+			// guard: the closure may run on any worker.
+			walk(n.Body, false)
+			return false
+		}
+		return true
+	}
+	walk = func(n ast.Node, guarded bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == nil {
+				return false
+			}
+			return inspect(m, guarded)
+		})
+	}
+	walk(fd.Body, false)
+}
+
+// isWorkerZeroCond matches `w == 0` / `0 == w` where w is a parameter of
+// the enclosing function — the pool's worker-id convention.
+func isWorkerZeroCond(p *Pass, cond ast.Expr, params map[types.Object]bool) bool {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok || be.Op != token.EQL {
+		return false
+	}
+	isZero := func(e ast.Expr) bool {
+		bl, ok := e.(*ast.BasicLit)
+		return ok && bl.Value == "0"
+	}
+	isParam := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && params[p.Info.Uses[id]]
+	}
+	return (isZero(be.X) && isParam(be.Y)) || (isZero(be.Y) && isParam(be.X))
+}
+
+// reportSharedWrite flags a write whose target is a pure pointer field
+// chain (x.a.b where x has pointer type). Index expressions anywhere in the
+// chain exempt the write: node-indexed state is sharded per worker.
+func reportSharedWrite(p *Pass, lhs ast.Expr) {
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	root := sel.X
+	for {
+		if inner, ok := root.(*ast.SelectorExpr); ok {
+			root = inner.X
+			continue
+		}
+		break
+	}
+	id, ok := root.(*ast.Ident)
+	if !ok {
+		return
+	}
+	if t := p.Info.TypeOf(id); t != nil {
+		if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			p.Reportf(lhs.Pos(), "write to shared state %s outside a worker-0 section; move it into `if w == 0 { ... }` or a //quarc:coordinator function", types.ExprString(lhs))
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// want is one `// want "regex" ...` expectation in a fixture file.
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// CheckFixture runs the analyzers over a fixture package and compares the
+// surviving diagnostics against the fixture's `// want "regex"` comments —
+// the stdlib-only equivalent of analysistest.Run. A want comment expects a
+// diagnostic on its own line whose message matches the regex; multiple
+// quoted regexes expect multiple diagnostics. Every unmatched expectation
+// and every unexpected diagnostic is returned as an error string.
+func CheckFixture(pkg *Package, analyzers []*Analyzer) []string {
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				text, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(text, -1) {
+					unq, err := strconv.Unquote(`"` + m[1] + `"`)
+					if err != nil {
+						unq = m[1]
+					}
+					re, err := regexp.Compile(unq)
+					if err != nil {
+						return []string{fmt.Sprintf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, m[1], err)}
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+
+	var errs []string
+	for _, d := range RunAnalyzers(pkg, analyzers) {
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.pattern.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			errs = append(errs, fmt.Sprintf("unexpected diagnostic: %s", d))
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			errs = append(errs, fmt.Sprintf("%s:%d: no diagnostic matching %q", w.file, w.line, w.pattern))
+		}
+	}
+	return errs
+}

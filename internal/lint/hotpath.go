@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotPath checks functions annotated `//quarc:hotpath` — the fabric's
+// per-cycle Step/arbitrate/commit/feed chain, PacketQueue, Assembler and
+// the tracker — for the constructs that break the 0 allocs/op steady-state
+// contract (guarded at runtime by TestFabricStepSteadyStateAllocs and the
+// CI benchmark gate; enforced here at review time):
+//
+//   - fmt calls (every verb formats through interfaces and allocates);
+//   - closure literals (captured variables escape to the heap);
+//   - &T{...}, slice and map composite literals (heap allocations);
+//   - explicit interface conversions (boxing allocates);
+//   - defer (scheduling overhead on a nanosecond-scale path);
+//   - append that grows a slice other than the one being assigned back
+//     (`x = append(x, ...)` reuses x's backing array in steady state;
+//     `y = append(x, ...)` silently copies and grows without bound).
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "//quarc:hotpath functions must avoid fmt, closures, escaping composite literals, interface conversions, defers and unbounded appends",
+	Run:  runHotPath,
+}
+
+func runHotPath(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective("hotpath", fd.Doc) {
+				continue
+			}
+			checkHotFunc(p, fd)
+		}
+	}
+}
+
+func checkHotFunc(p *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(p, n)
+		case *ast.FuncLit:
+			p.Reportf(n.Pos(), "closure literal in hot path: captured variables escape to the heap")
+			return false
+		case *ast.UnaryExpr:
+			if cl, ok := n.X.(*ast.CompositeLit); ok {
+				p.Reportf(cl.Pos(), "&composite literal in hot path escapes to the heap; reuse a scratch value instead")
+				return false
+			}
+		case *ast.CompositeLit:
+			if t := p.Info.TypeOf(n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					p.Reportf(n.Pos(), "slice/map composite literal allocates in hot path; hoist it or reuse a scratch buffer")
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i < len(n.Lhs) {
+					checkHotAppend(p, rhs, n.Lhs[i])
+				}
+			}
+		case *ast.DeferStmt:
+			p.Reportf(n.Pos(), "defer in hot path adds per-call scheduling overhead")
+		case *ast.GoStmt:
+			p.Reportf(n.Pos(), "goroutine spawn in hot path")
+		}
+		return true
+	})
+}
+
+func checkHotCall(p *Pass, call *ast.CallExpr) {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if pn, ok := pkgNameOf(p.Info, sel.X); ok && pn.Imported().Path() == "fmt" {
+			p.Reportf(call.Pos(), "fmt.%s in hot path formats through interfaces and allocates", sel.Sel.Name)
+			return
+		}
+	}
+	// Explicit conversion to an interface type boxes the operand.
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if _, isIface := tv.Type.Underlying().(*types.Interface); isIface {
+			if arg := p.Info.TypeOf(call.Args[0]); arg != nil {
+				if _, already := arg.Underlying().(*types.Interface); !already {
+					p.Reportf(call.Pos(), "conversion to interface type %s in hot path boxes the value on the heap", tv.Type.String())
+				}
+			}
+		}
+	}
+}
+
+// checkHotAppend flags `lhs = append(first, ...)` where lhs is not the same
+// expression as first: appending into a fresh slice grows a new backing
+// array every time, while the self-append idiom amortizes to zero
+// steady-state allocations once the buffer has warmed up.
+func checkHotAppend(p *Pass, rhs ast.Expr, lhs ast.Expr) {
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) == 0 {
+		return
+	}
+	if _, ok := p.Info.Uses[id].(*types.Builtin); !ok {
+		return
+	}
+	if types.ExprString(lhs) == types.ExprString(call.Args[0]) {
+		return
+	}
+	p.Reportf(call.Pos(), "append grows a slice (%s) other than the one assigned back (%s); hot-path appends must reuse their own backing array",
+		types.ExprString(call.Args[0]), types.ExprString(lhs))
+}

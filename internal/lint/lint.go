@@ -1,0 +1,287 @@
+// Package lint is quarcvet: a repo-specific static-analysis suite that
+// enforces the invariants the compiler cannot see but the paper's results
+// depend on — bit-identical simulation output at any worker count, canonical
+// cache keys that exclude execution-only knobs, an allocation-free fabric
+// hot path, and the parallel stepper's coordinator-section race discipline.
+//
+// The suite is built directly on go/ast + go/types (the module is
+// stdlib-only by policy, so golang.org/x/tools/go/analysis is off the
+// table), but mirrors its shape: small single-purpose Analyzers over a
+// typed Pass, unit-tested against `// want` fixtures under testdata, and a
+// cmd/quarcvet multichecker that runs the whole suite over `./...`.
+//
+// # Annotation vocabulary
+//
+// Analyzers are directed by `//quarc:` comments in the source they check:
+//
+//	//quarc:hotpath
+//	    (func doc) The function is on the fabric hot path and must stay
+//	    allocation-free in steady state: no fmt calls, closures,
+//	    escaping composite literals, interface conversions, defers, or
+//	    appends that grow a slice other than the one appended to.
+//
+//	//quarc:coordinator
+//	    (func doc) The function mutates fabric-shared state and may only
+//	    run single-threaded. Inside parallel.go, calls to coordinator
+//	    functions and writes to shared fields are legal only inside a
+//	    `if w == 0` worker-0 section or another coordinator function.
+//
+//	//quarc:poolfile <reason>
+//	    (file comment) The file is a blessed worker-pool implementation;
+//	    `go` statements in it are exempt from the determinism analyzer.
+//
+//	//quarc:wirekey <KeyFunc>
+//	    (struct doc) The struct is a wire request schema whose canonical
+//	    cache key is computed by <KeyFunc> in the same package; every
+//	    exported field must appear in the key struct or be marked
+//	    execution-only.
+//
+//	//quarc:execonly
+//	    (field doc or line comment) The wire field is an execution-only
+//	    knob (changes wall-clock, never output) and must NOT appear in
+//	    the canonical key.
+//
+//	//quarc:keyfield <Name>
+//	    (field doc or line comment) The wire field appears in the key
+//	    struct under a different field name.
+//
+//	//quarc:allow <analyzer>: <reason>
+//	    (same line as the diagnostic, or the line directly above)
+//	    Suppress one analyzer's diagnostics on that line. The reason is
+//	    mandatory; an allow without one is itself a diagnostic.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one check of the suite.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass hands one type-checked package to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	PkgPath  string
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos. Suppression (`//quarc:allow`) is
+// applied by the driver, not here.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// FileOf returns the *ast.File containing pos.
+func (p *Pass) FileOf(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// directive is one parsed //quarc:<verb> <arg> comment.
+type directive struct {
+	verb string // "hotpath", "coordinator", "allow", ...
+	arg  string // remainder after the verb, trimmed
+	pos  token.Pos
+}
+
+// parseDirectives extracts //quarc: directives from a comment group.
+func parseDirectives(groups ...*ast.CommentGroup) []directive {
+	var out []directive
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			text, ok := strings.CutPrefix(c.Text, "//quarc:")
+			if !ok {
+				continue
+			}
+			verb, arg, _ := strings.Cut(text, " ")
+			out = append(out, directive{verb: verb, arg: strings.TrimSpace(arg), pos: c.Pos()})
+		}
+	}
+	return out
+}
+
+// hasDirective reports whether any of the comment groups carries the verb.
+func hasDirective(verb string, groups ...*ast.CommentGroup) bool {
+	for _, d := range parseDirectives(groups...) {
+		if d.verb == verb {
+			return true
+		}
+	}
+	return false
+}
+
+// directiveArg returns the argument of the first matching directive.
+func directiveArg(verb string, groups ...*ast.CommentGroup) (string, bool) {
+	for _, d := range parseDirectives(groups...) {
+		if d.verb == verb {
+			return d.arg, true
+		}
+	}
+	return "", false
+}
+
+// fileHasDirective reports whether any comment anywhere in the file carries
+// the verb (used for file-scoped pragmas like //quarc:poolfile).
+func fileHasDirective(f *ast.File, verb string) bool {
+	for _, g := range f.Comments {
+		if hasDirective(verb, g) {
+			return true
+		}
+	}
+	return false
+}
+
+// allowSite is one //quarc:allow comment.
+type allowSite struct {
+	analyzer string
+	reason   string
+	pos      token.Pos
+}
+
+// allowsByLine maps file -> line -> allows in force on that line. An allow
+// comment covers its own line and the line below it.
+func allowsByLine(fset *token.FileSet, files []*ast.File) map[string]map[int][]allowSite {
+	out := map[string]map[int][]allowSite{}
+	for _, f := range files {
+		for _, g := range f.Comments {
+			for _, d := range parseDirectives(g) {
+				if d.verb != "allow" {
+					continue
+				}
+				name, reason, _ := strings.Cut(d.arg, ":")
+				site := allowSite{
+					analyzer: strings.TrimSpace(name),
+					reason:   strings.TrimSpace(reason),
+					pos:      d.pos,
+				}
+				p := fset.Position(d.pos)
+				m := out[p.Filename]
+				if m == nil {
+					m = map[int][]allowSite{}
+					out[p.Filename] = m
+				}
+				m[p.Line] = append(m[p.Line], site)
+				m[p.Line+1] = append(m[p.Line+1], site)
+			}
+		}
+	}
+	return out
+}
+
+// RunAnalyzers runs the analyzers over one loaded package and returns the
+// surviving diagnostics: `//quarc:allow <analyzer>: <reason>` comments on
+// the diagnostic's line (or the line above) suppress it, and every allow
+// missing its justification is reported as a diagnostic of its own.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			PkgPath:  pkg.PkgPath,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &raw,
+		}
+		a.Run(pass)
+	}
+
+	allows := allowsByLine(pkg.Fset, pkg.Files)
+	var out []Diagnostic
+	for _, d := range raw {
+		suppressed := false
+		for _, site := range allows[d.Pos.Filename][d.Pos.Line] {
+			if site.analyzer == d.Analyzer && site.reason != "" {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	// Malformed allows are findings themselves: a suppression with no
+	// justification defeats the point of the annotation vocabulary.
+	seen := map[token.Pos]bool{}
+	for _, m := range allows {
+		for _, sites := range m {
+			for _, site := range sites {
+				if site.reason != "" || seen[site.pos] {
+					continue
+				}
+				seen[site.pos] = true
+				out = append(out, Diagnostic{
+					Analyzer: "allow",
+					Pos:      pkg.Fset.Position(site.pos),
+					Message:  "//quarc:allow needs a justification: `//quarc:allow <analyzer>: <reason>`",
+				})
+			}
+		}
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+}
+
+// pkgNameOf resolves a selector's base identifier to the imported package it
+// names, if any.
+func pkgNameOf(info *types.Info, x ast.Expr) (*types.PkgName, bool) {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return pn, ok
+}

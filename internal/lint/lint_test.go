@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixture loads one testdata package, posing as importPath so path-scoped
+// analyzers see the package they expect.
+func fixture(t *testing.T, dir, importPath string) *Package {
+	t.Helper()
+	pkg, err := LoadFixture("../..", filepath.Join("testdata", "src", dir), importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	return pkg
+}
+
+// checkFixture runs one analyzer over a fixture and fails on any mismatch
+// with its // want comments.
+func checkFixture(t *testing.T, dir, importPath string, a *Analyzer) {
+	t.Helper()
+	pkg := fixture(t, dir, importPath)
+	for _, e := range CheckFixture(pkg, []*Analyzer{a}) {
+		t.Error(e)
+	}
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	// Posed as internal/network: fully inside the determinism scope.
+	checkFixture(t, "determinism", "quarc/internal/network", Determinism)
+}
+
+func TestDeterminismOutOfScope(t *testing.T) {
+	// The same sources posed as a non-simulation package produce nothing:
+	// the scope map is what keeps cmd/ and the HTTP layer free to use
+	// clocks and goroutines.
+	pkg := fixture(t, "determinism", "quarc/internal/webui")
+	if diags := RunAnalyzers(pkg, []*Analyzer{Determinism}); len(diags) != 0 {
+		t.Errorf("determinism fired outside its scope: %v", diags)
+	}
+}
+
+func TestCacheKeyPurityFixture(t *testing.T) {
+	checkFixture(t, "cachekey", "quarc/fixture/cachekey", CacheKeyPurity)
+}
+
+func TestHotPathFixture(t *testing.T) {
+	checkFixture(t, "hotpath", "quarc/fixture/hotpath", HotPath)
+}
+
+func TestCoordSectionFixture(t *testing.T) {
+	checkFixture(t, "coordsection", "quarc/fixture/coordsection", CoordSection)
+}
+
+func TestMetricsOnceFixture(t *testing.T) {
+	checkFixture(t, "metricsonce", "quarc/fixture/metricsonce", MetricsOnce)
+}
+
+func TestAllowSuppression(t *testing.T) {
+	pkg := fixture(t, "allow", "quarc/fixture/allow")
+	diags := RunAnalyzers(pkg, []*Analyzer{HotPath})
+
+	wants := []struct{ analyzer, substr string }{
+		// unjustified(): the reason-less allow suppresses nothing...
+		{"hotpath", `fmt.Println in hot path`},
+		// ...and is a finding of its own.
+		{"allow", "needs a justification"},
+		// wrongAnalyzer(): an allow for another analyzer does not apply.
+		{"hotpath", `fmt.Println in hot path`},
+	}
+	if len(diags) != len(wants) {
+		t.Fatalf("got %d diagnostics, want %d:\n%v", len(diags), len(wants), diags)
+	}
+	matched := make([]bool, len(diags))
+	for _, w := range wants {
+		found := false
+		for i, d := range diags {
+			if !matched[i] && d.Analyzer == w.analyzer && strings.Contains(d.Message, w.substr) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic from %s containing %q in %v", w.analyzer, w.substr, diags)
+		}
+	}
+	// The justified allow in suppressed() must have silenced its fmt call.
+	for _, d := range diags {
+		if d.Pos.Line < 14 {
+			t.Errorf("diagnostic inside the suppressed function: %v", d)
+		}
+	}
+}
+
+// TestQuarcvetCleanTree is the dogfooding gate: the real repository, loaded
+// exactly as cmd/quarcvet loads it, must produce zero unsuppressed
+// diagnostics. A regression anywhere in internal/ (a stray clock read, a
+// wire field with no cache-key fate, a shared write outside a coordinator
+// section) fails this test before it fails CI's quarcvet run.
+func TestQuarcvetCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	for _, pkg := range pkgs {
+		for _, d := range RunAnalyzers(pkg, All()) {
+			t.Errorf("%s", d)
+		}
+	}
+}

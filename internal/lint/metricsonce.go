@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// metricName matches the daemon's metric-naming convention.
+var metricName = regexp.MustCompile(`^quarcd_[a-z][a-z0-9_]*$`)
+
+// MetricsOnce checks the Prometheus exposition writer (the writeProm
+// function, whose local g/c helpers emit one gauge or counter each):
+//
+//   - every metric name matches the `quarcd_[a-z0-9_]+` convention;
+//   - counters (registered via c) end in `_total`, gauges (via g) do not —
+//     the Prometheus naming rules scrapers rely on;
+//   - no metric name is registered twice: a duplicate emission corrupts
+//     the exposition and usually means a copy-pasted line shadowing the
+//     real counter.
+var MetricsOnce = &Analyzer{
+	Name: "metricsonce",
+	Doc:  "metrics are registered exactly once, named quarcd_*, with counter/gauge suffixes matching their type",
+	Run:  runMetricsOnce,
+}
+
+func runMetricsOnce(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Name.Name != "writeProm" {
+				continue
+			}
+			checkWriteProm(p, fd)
+		}
+	}
+}
+
+func checkWriteProm(p *Pass, fd *ast.FuncDecl) {
+	seen := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || (id.Name != "g" && id.Name != "c") {
+			return true
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok {
+			return true
+		}
+		name, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return true
+		}
+		if !metricName.MatchString(name) {
+			p.Reportf(lit.Pos(), "metric %q violates the quarcd_[a-z0-9_]+ naming convention", name)
+		}
+		isTotal := strings.HasSuffix(name, "_total")
+		switch {
+		case id.Name == "c" && !isTotal:
+			p.Reportf(lit.Pos(), "counter %q must carry the _total suffix", name)
+		case id.Name == "g" && isTotal:
+			p.Reportf(lit.Pos(), "gauge %q carries the counter suffix _total; rename it or register it as a counter", name)
+		}
+		if seen[name] {
+			p.Reportf(lit.Pos(), "metric %q registered more than once", name)
+		}
+		seen[name] = true
+		return true
+	})
+}

@@ -1,0 +1,26 @@
+// Fixture for the //quarc:allow suppression mechanism: a justified allow
+// silences the diagnostic on its line (and the line below); an allow with
+// no reason suppresses nothing and is itself reported. Checked directly by
+// TestAllowSuppression rather than through want comments (the reason-less
+// allow's diagnostic lands on the comment's own line).
+package allow
+
+import "fmt"
+
+//quarc:hotpath
+func suppressed() {
+	//quarc:allow hotpath: cold error path, runs once at shutdown
+	fmt.Println("justified suppression")
+}
+
+//quarc:hotpath
+func unjustified() {
+	//quarc:allow hotpath:
+	fmt.Println("no reason given")
+}
+
+//quarc:hotpath
+func wrongAnalyzer() {
+	//quarc:allow determinism: an allow only silences the analyzer it names
+	fmt.Println("still reported")
+}

@@ -1,0 +1,43 @@
+// Fixture for the cachekeypurity analyzer. BadKey replays the
+// step_workers near-miss: the wire marks StepWorkers execution-only, but
+// the key struct hashes it (the Config field lost its `json:"-"` tag).
+package cachekey
+
+func hashKey(v any) string { _ = v; return "" }
+
+// Config stands in for experiments.Config with the protective `json:"-"`
+// tag missing from StepWorkers.
+type Config struct {
+	N           int
+	StepWorkers int
+	hidden      int // unexported: never hashed by encoding/json
+}
+
+// Request is the wire schema checked against BadKey.
+//
+//quarc:wirekey BadKey
+type Request struct {
+	N int
+	//quarc:execonly
+	StepWorkers int // want "execution-only field StepWorkers leaks into the canonical key hashed by BadKey"
+	Extra       int // want "wire field Extra is absent from the canonical key hashed by BadKey"
+	//quarc:keyfield Renamed
+	Alias int // matches the key through its //quarc:keyfield alias
+	Opts  Nested
+}
+
+// Nested is flattened into the check with its own field directives.
+type Nested struct {
+	Depth int
+	//quarc:execonly
+	Workers int
+}
+
+func BadKey(cfg Config) string {
+	return hashKey(struct {
+		Kind    string
+		Cfg     Config
+		Renamed int
+		Depth   int
+	}{"bad", cfg, 0, 0})
+}

@@ -1,0 +1,35 @@
+// Fixture for the coordsection analyzer: the file is named parallel.go, so
+// every non-coordinator function in it is held to the worker-0 discipline.
+package coordsection
+
+type pool struct {
+	halt   bool
+	n      int
+	shards []int
+}
+
+// apply mutates shared state on behalf of the coordinator.
+//
+//quarc:coordinator
+func apply(p *pool) {
+	p.n++ // coordinator functions are exempt
+}
+
+func cycles(p *pool, w int) {
+	p.halt = true   // want "write to shared state p.halt outside a worker-0 section"
+	p.n++           // want "write to shared state p.n outside a worker-0 section"
+	apply(p)        // want "call to coordinator function apply outside a worker-0 section"
+	p.shards[w] = 1 // sharded per worker: index expressions are exempt
+	if w == 0 {
+		p.halt = true // guarded: legal
+		apply(p)      // guarded: legal
+	}
+	if w == 1 {
+		p.halt = false // want "write to shared state p.halt outside a worker-0 section"
+	}
+	if w == 0 {
+		go func() {
+			p.halt = true // want "write to shared state p.halt outside a worker-0 section"
+		}()
+	}
+}

@@ -1,0 +1,35 @@
+// Fixture for the determinism analyzer, type-checked while posing as
+// quarc/internal/network so the path scope applies.
+package network
+
+import (
+	"math/rand" // want "import of math/rand draws from a global, run-order-dependent source"
+	"time"
+)
+
+var _ = rand.Int
+
+func clock() int64 {
+	start := time.Now() // want "time.Now reads the wall clock"
+	return start.UnixNano()
+}
+
+func elapsed(d time.Duration) time.Duration {
+	// Duration arithmetic is legal: only sampling the clock is flagged.
+	return d + time.Millisecond
+}
+
+func iterate(m map[int]int, s []int) int {
+	total := 0
+	for _, v := range m { // want "map iteration order is randomized"
+		total += v
+	}
+	for _, v := range s { // slice ranges are deterministic
+		total += v
+	}
+	return total
+}
+
+func spawn() {
+	go clock() // want "goroutine spawned outside a blessed pool file"
+}

@@ -1,0 +1,12 @@
+// A blessed pool file: its goroutine spawns are exempt.
+//
+//quarc:poolfile fixture pool; determinism proven elsewhere
+package network
+
+func pooled() {
+	done := make(chan struct{})
+	go func() { // no diagnostic: the file is a //quarc:poolfile
+		close(done)
+	}()
+	<-done
+}

@@ -1,0 +1,38 @@
+// Fixture for the hotpath analyzer.
+package hotpath
+
+import "fmt"
+
+type point struct{ x, y int }
+
+func cleanup() {}
+
+//quarc:hotpath
+func bad(buf []int, n int) []int {
+	fmt.Println(n) // want "fmt.Println in hot path formats through interfaces"
+	f := func() {} // want "closure literal in hot path"
+	_ = f
+	p := &point{} // want "&composite literal in hot path escapes to the heap"
+	_ = p
+	s := []int{n} // want "slice/map composite literal allocates in hot path"
+	_ = s
+	defer cleanup()         // want "defer in hot path"
+	go cleanup()            // want "goroutine spawn in hot path"
+	_ = any(n)              // want "conversion to interface type .* boxes the value"
+	grown := append(buf, n) // want "append grows a slice .buf. other than the one assigned back .grown."
+	_ = grown
+	return buf
+}
+
+//quarc:hotpath
+func good(buf []int, n int, v point) []int {
+	buf = append(buf, n) // self-append reuses the backing array
+	_ = point{x: n}      // value struct literal stays on the stack
+	_ = v.x
+	return buf
+}
+
+// Unannotated functions may do anything.
+func cold() {
+	fmt.Println("cold path")
+}

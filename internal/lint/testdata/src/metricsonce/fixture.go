@@ -1,0 +1,22 @@
+// Fixture for the metricsonce analyzer.
+package metricsonce
+
+import "io"
+
+func g(name string, v float64) { _, _ = name, v }
+func c(name string, v uint64)  { _, _ = name, v }
+
+func writeProm(w io.Writer) {
+	_ = w
+	g("quarcd_jobs_running", 1)
+	c("quarcd_jobs_done_total", 2)
+	g("jobs_running", 1)           // want "violates the quarcd_.* naming convention"
+	c("quarcd_cache_hits", 3)      // want "must carry the _total suffix"
+	g("quarcd_cache_total", 4)     // want "carries the counter suffix _total"
+	c("quarcd_jobs_done_total", 5) // want "registered more than once"
+}
+
+// Helpers named g/c outside writeProm are not the exposition writer.
+func elsewhere() {
+	g("anything_goes", 1)
+}

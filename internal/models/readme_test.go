@@ -1,0 +1,49 @@
+package models_test
+
+import (
+	"os"
+	"regexp"
+	"sort"
+	"testing"
+
+	"quarc/internal/service"
+
+	_ "quarc/internal/models" // link every model registration
+)
+
+// TestReadmeModelList pins the README's "The registered models are ..."
+// sentence to the live registry (the same set GET /v1/models serves), so
+// adding or renaming a model without updating the docs fails the build. It
+// lives here rather than in internal/service because this package's test
+// binary links exactly the production registrations — service tests add
+// fixture models (panictest) to theirs.
+func TestReadmeModelList(t *testing.T) {
+	raw, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatalf("reading README.md: %v", err)
+	}
+	m := regexp.MustCompile(`(?s)The registered models are (.*?)(?:—|\.)`).FindSubmatch(raw)
+	if m == nil {
+		t.Fatal("README.md has no 'The registered models are ...' sentence")
+	}
+	var documented []string
+	for _, name := range regexp.MustCompile("`([^`]+)`").FindAllSubmatch(m[1], -1) {
+		documented = append(documented, string(name[1]))
+	}
+	sort.Strings(documented)
+
+	var registered []string
+	for _, mj := range service.Models() {
+		registered = append(registered, mj.Name)
+	}
+	sort.Strings(registered)
+
+	if len(documented) != len(registered) {
+		t.Fatalf("README lists %v; the registry serves %v", documented, registered)
+	}
+	for i := range registered {
+		if documented[i] != registered[i] {
+			t.Fatalf("README lists %v; the registry serves %v", documented, registered)
+		}
+	}
+}

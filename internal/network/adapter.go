@@ -36,6 +36,8 @@ const MaxFreePackets = 16
 // NewPacket assembles a packet of length flits headed by h, reusing a
 // previously injected packet's storage when available. The returned slice is
 // owned by the caller until it is pushed back into a queue.
+//
+//quarc:hotpath
 func (q *PacketQueue) NewPacket(h flit.Flit, length int) []flit.Flit {
 	if n := len(q.free); n > 0 {
 		buf := q.free[n-1]
@@ -47,6 +49,8 @@ func (q *PacketQueue) NewPacket(h flit.Flit, length int) []flit.Flit {
 }
 
 // PushBack appends a packet.
+//
+//quarc:hotpath
 func (q *PacketQueue) PushBack(p []flit.Flit) {
 	if len(p) < 2 {
 		panic("network: packet too short")
@@ -58,6 +62,8 @@ func (q *PacketQueue) PushBack(p []flit.Flit) {
 // PushFront inserts a packet to be sent next. If the front packet has
 // already started streaming it is not disturbed: the new packet goes second
 // (a switch cannot recall flits already committed to the channel).
+//
+//quarc:hotpath
 func (q *PacketQueue) PushFront(p []flit.Flit) {
 	if len(p) < 2 {
 		panic("network: packet too short")
@@ -80,6 +86,8 @@ func (q *PacketQueue) PushFront(p []flit.Flit) {
 }
 
 // NextFlit peeks at the next flit to inject.
+//
+//quarc:hotpath
 func (q *PacketQueue) NextFlit() (flit.Flit, bool) {
 	if q.head == len(q.pkts) {
 		return flit.Flit{}, false
@@ -88,6 +96,8 @@ func (q *PacketQueue) NextFlit() (flit.Flit, bool) {
 }
 
 // Advance consumes the peeked flit.
+//
+//quarc:hotpath
 func (q *PacketQueue) Advance() {
 	if q.head == len(q.pkts) {
 		panic("network: Advance on empty queue")
@@ -145,6 +155,8 @@ type partialPkt struct {
 
 // Add consumes one delivered flit and reports whether it completed a packet
 // (i.e. it was the tail and all earlier flits had arrived).
+//
+//quarc:hotpath
 func (a *Assembler) Add(f flit.Flit) bool {
 	at := -1
 	got := 0
@@ -155,11 +167,13 @@ func (a *Assembler) Add(f flit.Flit) bool {
 		}
 	}
 	if f.Seq != got {
+		//quarc:allow hotpath: invariant-violation panic path, unreachable in a correct build
 		panic(fmt.Sprintf("network: out-of-order delivery: pkt %d flit %d after %d flits",
 			f.PktID, f.Seq, got))
 	}
 	if f.Kind == flit.Tail {
 		if got+1 != f.PktLen && f.PktLen != 0 {
+			//quarc:allow hotpath: invariant-violation panic path, unreachable in a correct build
 			panic(fmt.Sprintf("network: tail of pkt %d after %d flits", f.PktID, got+1))
 		}
 		if at >= 0 {
@@ -213,6 +227,8 @@ func (b *BaseAdapter) bind(f *Fabric, node int) {
 // that enqueues source traffic must call it (the Enqueue helpers do), or a
 // sleeping router would never notice the new packet. Outside a fabric (unit
 // tests driving a bare adapter) it is a no-op.
+//
+//quarc:hotpath
 func (b *BaseAdapter) Wake() {
 	if b.fab != nil {
 		b.fab.wake(b.Node)
@@ -222,6 +238,8 @@ func (b *BaseAdapter) Wake() {
 // Enqueue assembles a packet of length flits headed by h, appends it to
 // source queue qi (reusing that queue's recycled storage) and wakes the
 // node.
+//
+//quarc:hotpath
 func (b *BaseAdapter) Enqueue(qi int, h flit.Flit, length int) {
 	q := &b.Queues[qi]
 	q.PushBack(q.NewPacket(h, length))
@@ -230,6 +248,8 @@ func (b *BaseAdapter) Enqueue(qi int, h flit.Flit, length int) {
 
 // EnqueueFront is Enqueue at the head of the queue: switch-generated
 // packets (chain retransmissions) bypass waiting PE traffic.
+//
+//quarc:hotpath
 func (b *BaseAdapter) EnqueueFront(qi int, h flit.Flit, length int) {
 	q := &b.Queues[qi]
 	q.PushFront(q.NewPacket(h, length))
@@ -237,6 +257,8 @@ func (b *BaseAdapter) EnqueueFront(qi int, h flit.Flit, length int) {
 }
 
 // Feed pushes at most one flit per injection port into the router.
+//
+//quarc:hotpath
 func (b *BaseAdapter) Feed(now int64) {
 	for qi := range b.Queues {
 		q := &b.Queues[qi]
@@ -270,6 +292,8 @@ func (b *BaseAdapter) FeedBlocked() bool {
 }
 
 // Receive reassembles delivered flits and fires OnTail on completion.
+//
+//quarc:hotpath
 func (b *BaseAdapter) Receive(f flit.Flit, now int64) {
 	if b.asm.Add(f) {
 		b.OnTail(f, now)

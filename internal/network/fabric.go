@@ -436,6 +436,9 @@ func (f *Fabric) LinkLoad() [][]uint64 {
 // (commit pushes, adapter enqueues) take effect the following cycle, exactly
 // when a dense step would first observe the new flit. It also maintains the
 // saturation streak that arms multi-cycle batching.
+//
+//quarc:hotpath
+//quarc:coordinator
 func (f *Fabric) latch() {
 	list := f.stepList[:0]
 	if f.dense {
@@ -466,6 +469,8 @@ func (f *Fabric) latch() {
 // reconcile credits a newly woken router with its slept cycles, then latches
 // its occupancy snapshot for this cycle (registered credits). Phase 0 of the
 // cycle; per-node, safe to run in parallel over disjoint nodes.
+//
+//quarc:hotpath
 func (f *Fabric) reconcile(node int, sc *stepScratch) {
 	if f.idleSince[node] >= 0 {
 		k := uint64(f.cycle - f.idleSince[node])
@@ -483,6 +488,9 @@ func (f *Fabric) reconcile(node int, sc *stepScratch) {
 }
 
 // applyWoken folds one scratch's wake counts into the fabric totals.
+//
+//quarc:hotpath
+//quarc:coordinator
 func (f *Fabric) applyWoken(sc *stepScratch) {
 	f.sleeping -= sc.woken
 	f.blockedSleeping -= sc.wokenBlocked
@@ -494,6 +502,9 @@ func (f *Fabric) applyWoken(sc *stepScratch) {
 // single-threaded in ascending node order — it mutates the tracker, the
 // trace, the global counters and downstream lanes, and its order defines the
 // deterministic event order the parallel path reproduces.
+//
+//quarc:hotpath
+//quarc:coordinator
 func (f *Fabric) applyMoves(list []int) {
 	for _, node := range list {
 		moves := f.moves[node]
@@ -536,6 +547,7 @@ func (f *Fabric) applyMoves(list []int) {
 					PktID: g.PktID, MsgID: g.MsgID, Seq: g.Seq})
 			}
 			if !f.Routers[w.Dst.Node].Push(w.Dst.Port, m.OutVC, g) {
+				//quarc:allow hotpath: invariant-violation panic path, unreachable in a correct build
 				panic(fmt.Sprintf("network: credit violation pushing into %d.%d vc %d",
 					w.Dst.Node, w.Dst.Port, m.OutVC))
 			}
@@ -551,6 +563,8 @@ func (f *Fabric) applyMoves(list []int) {
 // recorded in scratch; applySleep commits them. Per-node: reads other
 // routers only through live occupancy (stable during this phase), so it is
 // safe to run in parallel over disjoint nodes.
+//
+//quarc:hotpath
 func (f *Fabric) sleepScan(node int, sc *stepScratch) {
 	if !f.canSleep[node] {
 		return
@@ -595,6 +609,9 @@ func (f *Fabric) sleepScan(node int, sc *stepScratch) {
 // applySleep removes one scratch's sleep candidates from the step set.
 // Single-threaded; the per-node sets are disjoint across workers and every
 // mutation commutes, so merge order does not matter.
+//
+//quarc:hotpath
+//quarc:coordinator
 func (f *Fabric) applySleep(sc *stepScratch) {
 	for _, node := range sc.sleptIdle {
 		f.activeMask[node>>6] &^= 1 << uint(node&63)
@@ -615,6 +632,8 @@ func (f *Fabric) applySleep(sc *stepScratch) {
 }
 
 // stepSerial runs one latched cycle on the calling goroutine.
+//
+//quarc:hotpath
 func (f *Fabric) stepSerial(list []int) {
 	sc := &f.scr
 	// Phase 0: latch occupancy snapshots (registered credits), crediting
@@ -648,6 +667,8 @@ func (f *Fabric) stepSerial(list []int) {
 }
 
 // Step advances the network by one cycle, visiting only active routers.
+//
+//quarc:hotpath
 func (f *Fabric) Step() {
 	f.StepBatch(1, nil)
 }
@@ -661,6 +682,8 @@ func (f *Fabric) Step() {
 // not occur between batched cycles; drive the fabric cycle by cycle with
 // Step while sources are live, and batch only event-free spans (drains,
 // fixed-workload runs).
+//
+//quarc:hotpath
 func (f *Fabric) StepBatch(n int64, stop func() bool) int64 {
 	done := int64(0)
 	latched := false

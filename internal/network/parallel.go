@@ -10,6 +10,12 @@
 // single-threaded coordinator sections in ascending node order, exactly the
 // serial order. Results are therefore byte-identical at any worker count,
 // including 1 (the pool-free serial path).
+//
+// quarcvet enforces the discipline: this file is the blessed pool
+// implementation (//quarc:poolfile), and its shared-state writes must sit
+// inside worker-0 sections or //quarc:coordinator functions.
+//
+//quarc:poolfile intra-cycle stepping pool; determinism proven by TestStepWorkerInvariance
 package network
 
 import (
@@ -34,6 +40,7 @@ type spinBarrier struct {
 	gen       atomic.Uint64
 }
 
+//quarc:hotpath
 func (b *spinBarrier) wait() {
 	g := b.gen.Load()
 	if b.count.Add(1) == b.n {
@@ -71,6 +78,10 @@ type stepPool struct {
 	stopped     bool
 }
 
+// newStepPool builds the pool before any helper exists; single-threaded by
+// construction.
+//
+//quarc:coordinator
 func newStepPool(f *Fabric, workers int) *stepPool {
 	p := &stepPool{
 		f:       f,
@@ -99,6 +110,8 @@ func newStepPool(f *Fabric, workers int) *stepPool {
 
 // close shuts the helper goroutines down. Must not be called while a
 // dispatch is in flight.
+//
+//quarc:coordinator
 func (p *stepPool) close() {
 	close(p.work)
 }
@@ -107,6 +120,8 @@ func (p *stepPool) close() {
 // per-worker ranges. Contiguity keeps each worker on an ascending node range
 // (cache-friendly, and shard-count independent results fall out of phase
 // independence, not shard layout).
+//
+//quarc:coordinator
 func (p *stepPool) computeShards() {
 	n := len(p.f.stepList)
 	q, r := n/p.workers, n%p.workers
@@ -124,7 +139,11 @@ func (p *stepPool) computeShards() {
 // run executes up to maxCycles cycles on the pool against the already
 // latched step list. It returns the cycles run, whether the next cycle's
 // step set was latched but left unrun (it fell below the pool grain), and
-// whether the stop hook fired.
+// whether the stop hook fired. The dispatching caller is single-threaded:
+// helpers only wake at the work-channel sends below, after the dispatch
+// state is fully written.
+//
+//quarc:coordinator
 func (p *stepPool) run(maxCycles int64, stop func() bool) (ran int64, latchedNext, stopped bool) {
 	p.maxCycles, p.stop = maxCycles, stop
 	p.ran, p.halt, p.latchedNext, p.stopped = 0, false, false, false
@@ -141,6 +160,8 @@ func (p *stepPool) run(maxCycles int64, stop func() bool) (ran int64, latchedNex
 // worker's shard, interleaved with coordinator sections on worker 0. All
 // workers observe the same halt decision through the final barrier, so they
 // enter and leave together.
+//
+//quarc:hotpath
 func (p *stepPool) cycles(w int) {
 	f := p.f
 	sc := &p.scratch[w]

@@ -66,11 +66,14 @@ func NewTracker() *Tracker {
 }
 
 // Register announces a message entering the network.
+//
+//quarc:hotpath
 func (t *Tracker) Register(msgID uint64, class MessageClass, src int, gen int64, expected int) {
 	if expected <= 0 {
 		panic("network: message with no destinations")
 	}
 	if _, dup := t.inflight[msgID]; dup {
+		//quarc:allow hotpath: invariant-violation panic path, unreachable in a correct build
 		panic(fmt.Sprintf("network: duplicate message id %d", msgID))
 	}
 	var st *trackState
@@ -95,9 +98,12 @@ func (t *Tracker) Register(msgID uint64, class MessageClass, src int, gen int64,
 // (they indicate a routing bug); duplicate deliveries to the same node are
 // counted and reported via Duplicates (the Quarc broadcast must never
 // produce one).
+//
+//quarc:hotpath
 func (t *Tracker) Delivered(msgID uint64, node int, now int64) {
 	st, ok := t.inflight[msgID]
 	if !ok {
+		//quarc:allow hotpath: invariant-violation panic path, unreachable in a correct build
 		panic(fmt.Sprintf("network: delivery for unknown message %d", msgID))
 	}
 	bit := uint64(1) << uint(node&63)

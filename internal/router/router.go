@@ -137,6 +137,7 @@ type bid struct {
 // New constructs a switch from its configuration.
 func New(cfg Config) *Router {
 	if cfg.VCs < 1 || cfg.VCs > 8 {
+		//quarc:allow hotpath: invariant-violation panic path, unreachable in a correct build
 		panic(fmt.Sprintf("router: unsupported VC count %d", cfg.VCs))
 	}
 	if cfg.Depth < 1 {
@@ -191,6 +192,8 @@ func (r *Router) LaneLen(in, ln int) int { return r.in[in].lanes[ln].q.Len() }
 // the network adapter for injection ports). It reports false when the lane
 // is full; callers must respect the credit/handshake and treat false as a
 // protocol violation.
+//
+//quarc:hotpath
 func (r *Router) Push(in, ln int, f flit.Flit) bool {
 	if !r.in[in].lanes[ln].q.Push(f) {
 		return false
@@ -337,6 +340,8 @@ func (r *Router) Sent(out int) uint64 { return r.out[out].sent }
 // Snapshot latches per-lane occupancy at the start of the cycle. Grant
 // decisions observe only the snapshot, giving registered (one-cycle lagged)
 // credit semantics.
+//
+//quarc:hotpath
 func (r *Router) Snapshot() {
 	occ := 0
 	for i := range r.in {
@@ -374,6 +379,8 @@ func (r *Router) reachable(o, in int) bool {
 // other fields stale — every reader gates on b.valid, and writing only the
 // flag keeps the empty-port case (the common one at low load) free of the
 // struct zeroing a by-value return would pay.
+//
+//quarc:hotpath
 func (r *Router) bidFor(i int, b *bid) {
 	p := &r.in[i]
 	n := len(p.lanes)
@@ -394,26 +401,32 @@ func (r *Router) bidFor(i int, b *bid) {
 // laneDecision returns the routing decision governing the flit at the head of
 // lane (i, l): the FCU's latched decision for an active packet, or the cached
 // (validated) route of the waiting header.
+//
+//quarc:hotpath
 func (r *Router) laneDecision(i, l int, head flit.Flit) Decision {
 	ln := &r.in[i].lanes[l]
 	if ln.active {
 		return ln.dec
 	}
 	if head.Kind != flit.Header {
+		//quarc:allow hotpath: invariant-violation panic path, unreachable in a correct build
 		panic(fmt.Sprintf("router %d in %d lane %d: %v flit with no active packet",
 			r.cfg.Node, i, l, head.Kind))
 	}
 	if !ln.pendOK || ln.pendPkt != head.PktID {
 		dec := r.cfg.Route(r.cfg.Node, i, head)
 		if dec.Out == NoOutput && !dec.Eject {
+			//quarc:allow hotpath: invariant-violation panic path, unreachable in a correct build
 			panic(fmt.Sprintf("router %d in %d: decision with no action for %+v",
 				r.cfg.Node, i, head))
 		}
 		if dec.Out == NoOutput && r.cfg.EjectPort != NoOutput {
+			//quarc:allow hotpath: invariant-violation panic path, unreachable in a correct build
 			panic(fmt.Sprintf("router %d in %d: pure-local decision on a shared-eject switch",
 				r.cfg.Node, i))
 		}
 		if dec.Out != NoOutput && !r.reachable(dec.Out, i) {
+			//quarc:allow hotpath: invariant-violation panic path, unreachable in a correct build
 			panic(fmt.Sprintf("router %d: route sends input %d to unreachable output %d",
 				r.cfg.Node, i, dec.Out))
 		}
@@ -435,6 +448,8 @@ type Downstream interface {
 // for the shared ejection port, where the PE absorbs at link rate). The
 // returned moves reference flits still in their source lanes; the network
 // must call Commit exactly once with the same slice.
+//
+//quarc:hotpath
 func (r *Router) Arbitrate(downstream []Downstream, moves []Move) []Move {
 	// VC arbitration: one candidate lane per input port.
 	nbids := 0
@@ -515,6 +530,8 @@ func (r *Router) Arbitrate(downstream []Downstream, moves []Move) []Move {
 
 // trySend checks credit and VC allocation for a bid on output o. On
 // failure it reports the blocking resource.
+//
+//quarc:hotpath
 func (r *Router) trySend(o int, b *bid, down Downstream) (bool, int, StallCause) {
 	op := &r.out[o]
 	packed := b.in*16 + b.lane
@@ -523,6 +540,7 @@ func (r *Router) trySend(o int, b *bid, down Downstream) (bool, int, StallCause)
 		// Body or tail: use the allocated VC; need one credit.
 		vc := ln.outVC
 		if op.owner[vc] != packed {
+			//quarc:allow hotpath: invariant-violation panic path, unreachable in a correct build
 			panic(fmt.Sprintf("router %d out %d: lane %d.%d lost VC %d ownership",
 				r.cfg.Node, o, b.in, b.lane, vc))
 		}
@@ -552,6 +570,7 @@ func (r *Router) trySend(o int, b *bid, down Downstream) (bool, int, StallCause)
 		// dateline discipline.
 		vc = r.cfg.VCNext(r.cfg.Node, o, b.in, b.lane, b.head)
 		if vc < 0 || vc >= r.cfg.VCs {
+			//quarc:allow hotpath: invariant-violation panic path, unreachable in a correct build
 			panic(fmt.Sprintf("router %d: VCNext returned %d", r.cfg.Node, vc))
 		}
 		if op.owner[vc] != noOwner {
@@ -568,12 +587,15 @@ func (r *Router) trySend(o int, b *bid, down Downstream) (bool, int, StallCause)
 // updates FCU/OPC state, and returns the flits to forward. The network is
 // responsible for pushing forwarded flits into the downstream input lanes
 // and for delivering ejected copies.
+//
+//quarc:hotpath
 func (r *Router) Commit(moves []Move) {
 	for mi := range moves {
 		m := &moves[mi]
 		ln := &r.in[m.In].lanes[m.Lane]
 		f, ok := ln.q.Pop()
 		if !ok || f.PktID != m.Flit.PktID || f.Seq != m.Flit.Seq {
+			//quarc:allow hotpath: invariant-violation panic path, unreachable in a correct build
 			panic(fmt.Sprintf("router %d: commit desync at in %d lane %d", r.cfg.Node, m.In, m.Lane))
 		}
 		r.buffered--
@@ -604,6 +626,7 @@ func (r *Router) Commit(moves []Move) {
 			}
 			if f.Kind == flit.Tail {
 				if op.owner[m.OutVC] != packed {
+					//quarc:allow hotpath: invariant-violation panic path, unreachable in a correct build
 					panic(fmt.Sprintf("router %d: tail releasing foreign VC", r.cfg.Node))
 				}
 				op.owner[m.OutVC] = noOwner

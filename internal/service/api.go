@@ -88,13 +88,28 @@ func Models() []ModelJSON {
 	return out
 }
 
-var patternNames = map[string]traffic.Pattern{
-	"uniform":    traffic.Uniform,
-	"hotspot":    traffic.Hotspot,
-	"antipodal":  traffic.Antipodal,
-	"neighbor":   traffic.NearestNeighbor,
-	"bitreverse": traffic.BitReverse,
+// patternTable is the source of truth for wire-format pattern names. It is a
+// slice, not a map: PatternName walks it in declaration order, so the name a
+// pattern reports is deterministic (quarcvet's determinism analyzer caught
+// the previous map-iteration version, which could flip between aliases).
+var patternTable = []struct {
+	name string
+	p    traffic.Pattern
+}{
+	{"uniform", traffic.Uniform},
+	{"hotspot", traffic.Hotspot},
+	{"antipodal", traffic.Antipodal},
+	{"neighbor", traffic.NearestNeighbor},
+	{"bitreverse", traffic.BitReverse},
 }
+
+var patternNames = func() map[string]traffic.Pattern {
+	m := make(map[string]traffic.Pattern, len(patternTable))
+	for _, e := range patternTable {
+		m[e.name] = e.p
+	}
+	return m
+}()
 
 // ParsePattern resolves a wire-format traffic-pattern name ("" means
 // uniform).
@@ -108,11 +123,12 @@ func ParsePattern(name string) (traffic.Pattern, error) {
 	return 0, fmt.Errorf("unknown pattern %q", name)
 }
 
-// PatternName is the wire name of a pattern.
+// PatternName is the wire name of a pattern, resolved through patternTable
+// in declaration order so the answer never depends on map iteration.
 func PatternName(p traffic.Pattern) string {
-	for name, v := range patternNames {
-		if v == p {
-			return name
+	for _, e := range patternTable {
+		if e.p == p {
+			return e.name
 		}
 	}
 	return fmt.Sprintf("pattern(%d)", int(p))
@@ -120,6 +136,12 @@ func PatternName(p traffic.Pattern) string {
 
 // RunRequest is the body of POST /v1/runs: one simulation configuration,
 // optionally replicated. Zero fields take the simulator's defaults.
+//
+// quarcvet's cachekeypurity analyzer cross-checks every field here against
+// the canonical key: add a field and the build fails until you either hash
+// it (RunKey) or mark it `//quarc:execonly`.
+//
+//quarc:wirekey RunKey
 type RunRequest struct {
 	// Topo is the model's wire name: any name registered with
 	// internal/model is accepted (GET /v1/models enumerates them).
@@ -145,16 +167,23 @@ type RunRequest struct {
 	Drain      int64   `json:"drain,omitempty"`
 	Seed       uint64  `json:"seed,omitempty"`
 	Replicates int     `json:"replicates,omitempty"`
-	Workers    int     `json:"workers,omitempty"`
+	// Workers sizes the replicate pool; wall-clock only, never the result.
+	//
+	//quarc:execonly
+	Workers int `json:"workers,omitempty"`
 	// StepWorkers sizes the intra-point fabric worker pool (0 = automatic;
 	// 1 = serial). Like workers it only changes wall-clock time, never the
 	// result, and stays out of the canonical cache key.
+	//
+	//quarc:execonly
 	StepWorkers int `json:"step_workers,omitempty"`
 	// DeadlineMs bounds the whole request, queueing included, in
 	// milliseconds (0 = none). On expiry an analyzable run is answered
 	// instantly from the closed-form analytic model with `degraded: true`
 	// and the validation suite's error band instead of an error. Like
 	// workers it stays out of the canonical cache key.
+	//
+	//quarc:execonly
 	DeadlineMs int64 `json:"deadline_ms,omitempty"`
 }
 
@@ -219,17 +248,29 @@ func (r RunRequest) replicates() int {
 }
 
 // SweepOpts is the wire form of experiments.RunOpts (minus the worker count's
-// effect on results: workers only changes wall-clock time).
+// effect on results: workers only changes wall-clock time). It nests inside
+// both PanelRequest and ExploreRequest, so its field directives must satisfy
+// the cachekeypurity check against PanelKey and ExploreKey alike.
 type SweepOpts struct {
-	Warmup      int64  `json:"warmup,omitempty"`
-	Measure     int64  `json:"measure,omitempty"`
-	Drain       int64  `json:"drain,omitempty"`
-	Depth       int    `json:"depth,omitempty"`
-	Seed        uint64 `json:"seed,omitempty"`
-	Points      int    `json:"points,omitempty"`
-	Replicates  int    `json:"replicates,omitempty"`
-	Workers     int    `json:"workers,omitempty"`
-	StepWorkers int    `json:"step_workers,omitempty"`
+	Warmup  int64 `json:"warmup,omitempty"`
+	Measure int64 `json:"measure,omitempty"`
+	Drain   int64 `json:"drain,omitempty"`
+	// Depth is hashed under its own name by PanelKey and folded into the
+	// normalised Depths axis by ExploreKey.
+	//
+	//quarc:keyfield Depths
+	Depth int    `json:"depth,omitempty"`
+	Seed  uint64 `json:"seed,omitempty"`
+	// Points sizes the implicit rate grid of a panel sweep; explore rejects
+	// it at the wire boundary (rates are an explicit axis there), so it is
+	// rightly absent from ExploreKey.
+	//quarc:allow cachekeypurity: explore rejects opts.points before any work runs, so it cannot reach that key
+	Points     int `json:"points,omitempty"`
+	Replicates int `json:"replicates,omitempty"`
+	//quarc:execonly
+	Workers int `json:"workers,omitempty"`
+	//quarc:execonly
+	StepWorkers int `json:"step_workers,omitempty"`
 }
 
 // MaxPanelModels bounds the architectures one panel request may sweep.
@@ -239,6 +280,8 @@ const MaxPanelModels = 16
 // sweep over a set of architectures), as in the paper's Figs 9-11. An empty
 // Models list sweeps the paper's fixed quarc/spidergon pair under its
 // pre-existing cache keys.
+//
+//quarc:wirekey PanelKey
 type PanelRequest struct {
 	Figure      string    `json:"figure,omitempty"`
 	Name        string    `json:"name,omitempty"`
@@ -255,6 +298,8 @@ type PanelRequest struct {
 	// DeadlineMs bounds the whole request in milliseconds (0 = none). Panels
 	// have no analytic fallback, so expiry fails the job with "deadline
 	// exceeded" rather than degrading.
+	//
+	//quarc:execonly
 	DeadlineMs int64 `json:"deadline_ms,omitempty"`
 }
 
